@@ -1,0 +1,58 @@
+// Generalized (multi-output) tree-pattern benchmark — the paper's primary
+// future-work item, quantified: merging a Q5-style cascade into one
+// multi-output pattern removes the intermediate tuple materialization but
+// forces binding enumeration (nested-loop evaluation), while the cascade
+// can run each stage with an index algorithm. Neither dominates: the
+// trade-off is the reason the paper kept single-output patterns.
+#include "bench_common.h"
+
+namespace xqtp::bench {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* query;
+};
+
+constexpr Workload kWorkloads[] = {
+    {"q5-narrow",
+     "for $x in $input//t01[t02] return $x/t03"},
+    {"q5-wide", "for $x in $input//t01 return $x/t02"},
+    {"three-stage",
+     "for $x in $input//t01 return for $y in $x/t02 return $y/t03"},
+};
+
+const xml::Document& Doc() {
+  return MemberDoc("member_gtp", 200000, 5, 100, 100);
+}
+
+void Register() {
+  for (const Workload& w : kWorkloads) {
+    for (bool merged : {false, true}) {
+      exec::PatternAlgo algo =
+          merged ? exec::PatternAlgo::kNLJoin : exec::PatternAlgo::kStaircase;
+      std::string name = std::string("GTP/") + w.name +
+                         (merged ? "/merged-NL" : "/cascade-SC");
+      std::string query = w.query;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query, algo, merged](benchmark::State& state) {
+            engine::CompileOptions copts;
+            copts.multi_output_patterns = merged;
+            RunQueryBenchmark(state, query, Doc(), algo,
+                              engine::PlanChoice::kOptimized, copts);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  xqtp::bench::Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

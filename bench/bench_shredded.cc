@@ -1,0 +1,52 @@
+// Shredding-model benchmark (the paper's last future-work item): the
+// pointer-based staircase join vs the relational staircase join over the
+// shredded node table (the XPath accelerator encoding), on the Table 1
+// workload. The shredded variant trades pointer chasing for columnar
+// range scans — the access pattern an RDBMS-backed store would have.
+#include "bench_common.h"
+
+namespace xqtp::bench {
+namespace {
+
+struct QE {
+  const char* name;
+  const char* query;
+};
+
+constexpr QE kQueries[] = {
+    {"QE1", "$input/desc::t01[child::t02[child::t03[child::t04]]]"},
+    {"QE4", "$input/desc::t01[desc::t02[desc::t03[desc::t04]]]"},
+    {"QE6", "$input/desc::t01[desc::t02[desc::t03]/desc::t04[desc::t03]]"},
+    {"path", "$input//t01/t02/t03"},
+};
+
+const xml::Document& Doc() {
+  return MemberDoc("member_shredded", 400000, 5, 100, 200);
+}
+
+void Register() {
+  for (const QE& qe : kQueries) {
+    for (exec::PatternAlgo algo :
+         {exec::PatternAlgo::kStaircase, exec::PatternAlgo::kShredded}) {
+      std::string name =
+          std::string("Shredded/") + qe.name + "/" + AlgoTag(algo);
+      std::string query = qe.query;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query, algo](benchmark::State& state) {
+            RunQueryBenchmark(state, query, Doc(), algo);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  xqtp::bench::Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Twig-variant comparison (the paper's future work: "evaluating the
+// benefits of other variants of Twigjoin algorithms"): the three-phase
+// merge-semijoin holistic join (TJ) vs the classic stack-based TwigStack
+// (TS), with SCJoin as the reference point, on the Table 1 workload.
+#include "bench_common.h"
+
+namespace xqtp::bench {
+namespace {
+
+struct QE {
+  const char* name;
+  const char* query;
+};
+
+constexpr QE kQueries[] = {
+    {"QE1", "$input/desc::t01[child::t02[child::t03[child::t04]]]"},
+    {"QE3", "$input/desc::t01[child::t02[child::t03]/child::t04[child::t03]]"},
+    {"QE4", "$input/desc::t01[desc::t02[desc::t03[desc::t04]]]"},
+    {"QE6", "$input/desc::t01[desc::t02[desc::t03]/desc::t04[desc::t03]]"},
+    {"deep-path", "$input//t01/t02/t03/t04"},
+    {"wide-twig", "$input//t01[t02][t03][t04]"},
+};
+
+const xml::Document& Doc() {
+  return MemberDoc("member_twig", 400000, 5, 100, 200);
+}
+
+void Register() {
+  for (const QE& qe : kQueries) {
+    for (exec::PatternAlgo algo :
+         {exec::PatternAlgo::kTwig, exec::PatternAlgo::kTwigStack,
+          exec::PatternAlgo::kStaircase}) {
+      std::string name =
+          std::string("TwigVariants/") + qe.name + "/" + AlgoTag(algo);
+      std::string query = qe.query;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query, algo](benchmark::State& state) {
+            RunQueryBenchmark(state, query, Doc(), algo);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  xqtp::bench::Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

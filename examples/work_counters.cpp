@@ -1,0 +1,81 @@
+// Work counters: makes the paper's Section 5 cost arguments observable.
+// For each algorithm, prints how many tree nodes were visited and how
+// many index entries were scanned for two contrasting workloads:
+//  - the Section 5.3 selective chain (NL touches almost nothing),
+//  - a rooted descendant twig (the index algorithms touch only the
+//    relevant streams, NL traverses the world).
+//
+//   $ ./build/examples/work_counters
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "exec/exec_stats.h"
+#include "workload/member_gen.h"
+
+int main() {
+  using xqtp::exec::PatternAlgo;
+  xqtp::engine::Engine engine;
+
+  xqtp::workload::MemberParams wide;
+  wide.node_count = 150000;
+  wide.max_depth = 5;
+  wide.num_tags = 100;
+  wide.plant_twigs = 75;
+  const xqtp::xml::Document* wide_doc = engine.AddDocument(
+      "wide", xqtp::workload::GenerateMember(wide, engine.interner()));
+
+  xqtp::workload::MemberParams deep;
+  deep.node_count = 50000;
+  deep.max_depth = 15;
+  deep.num_tags = 1;
+  const xqtp::xml::Document* deep_doc = engine.AddDocument(
+      "deep", xqtp::workload::GenerateMember(deep, engine.interner()));
+
+  struct Case {
+    const char* name;
+    const char* query;
+    const xqtp::xml::Document* doc;
+  };
+  Case cases[] = {
+      {"Section 5.3 selective chain (/t1[1])^10",
+       "$input/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]",
+       deep_doc},
+      {"rooted descendant twig (QE4)",
+       "$input/desc::t01[desc::t02[desc::t03[desc::t04]]]", wide_doc},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("%s\n  %s\n", c.name, c.query);
+    auto cq = engine.Compile(c.query);
+    if (!cq.ok()) {
+      std::printf("  compile error: %s\n", cq.status().ToString().c_str());
+      continue;
+    }
+    xqtp::engine::Engine::GlobalMap globals{
+        {"input", {xqtp::xdm::Item(c.doc->root())}}};
+    std::printf("  %-10s %15s %15s %12s\n", "algorithm", "nodes visited",
+                "index entries", "index skips");
+    for (PatternAlgo algo : {PatternAlgo::kNLJoin, PatternAlgo::kStaircase,
+                             PatternAlgo::kTwig, PatternAlgo::kStream}) {
+      xqtp::exec::ScopedExecStats scope;
+      auto res = engine.Execute(*cq, globals, algo);
+      if (!res.ok()) {
+        std::printf("  %-10s error: %s\n", PatternAlgoName(algo),
+                    res.status().ToString().c_str());
+        continue;
+      }
+      const xqtp::exec::ExecStats& s = scope.stats();
+      std::printf("  %-10s %15lld %15lld %12lld   (%zu results)\n",
+                  PatternAlgoName(algo),
+                  static_cast<long long>(s.nodes_visited),
+                  static_cast<long long>(s.index_entries_scanned),
+                  static_cast<long long>(s.index_skips), res->size());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: the nested-loop join's cost follows nodes visited; the\n"
+      "index joins' cost follows index entries scanned — exactly the\n"
+      "asymmetry behind the paper's Section 5.3 and Table 1 results.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Core -> algebra compilation, following the compilation scheme of [28]:
+// linear for-loops over the fragment compile to the tuple operators
+// (MapFromItem / Select / MapToItem with TreeJoin leaves — the paper's
+// plan P1); everything else compiles to scoped item operators.
+#ifndef XQTP_ALGEBRA_COMPILE_H_
+#define XQTP_ALGEBRA_COMPILE_H_
+
+#include "algebra/ops.h"
+#include "common/status.h"
+#include "core/ast.h"
+
+namespace xqtp::algebra {
+
+/// Compiles a Core expression to an (item) algebra plan.
+Result<OpPtr> Compile(const core::CoreExpr& e, const core::VarTable& vars,
+                      StringInterner* interner);
+
+}  // namespace xqtp::algebra
+
+#endif  // XQTP_ALGEBRA_COMPILE_H_

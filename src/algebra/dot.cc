@@ -1,0 +1,131 @@
+#include "algebra/dot.h"
+
+#include "algebra/printer.h"
+
+namespace xqtp::algebra {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+class DotWriter {
+ public:
+  DotWriter(const core::VarTable& vars, const StringInterner& interner)
+      : vars_(vars), interner_(interner) {}
+
+  std::string Render(const Op& plan) {
+    out_ += "digraph plan {\n";
+    out_ += "  rankdir=BT;\n";
+    out_ += "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+    Visit(plan);
+    out_ += "}\n";
+    return std::move(out_);
+  }
+
+ private:
+  std::string Label(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kTupleTreePattern:
+        return "TupleTreePattern\\n" + EscapeDot(op.tp.ToString(interner_));
+      case OpKind::kTreeJoin:
+        return "TreeJoin\\n" +
+               EscapeDot(StepToString(op.axis, op.test, interner_));
+      case OpKind::kMapFromItem:
+        return "MapFromItem [" + interner_.NameOf(op.field) + " : IN]";
+      case OpKind::kMapToItem:
+        return "MapToItem";
+      case OpKind::kSelect:
+        return "Select";
+      case OpKind::kDdo:
+        return "fs:ddo";
+      case OpKind::kFieldAccess:
+        return "IN#" + interner_.NameOf(op.field);
+      case OpKind::kInputItem:
+      case OpKind::kInputTuple:
+        return "IN";
+      case OpKind::kGlobalVar:
+      case OpKind::kScopedVar:
+        return "$" + vars_.NameOf(op.var);
+      case OpKind::kConst:
+        return EscapeDot(op.literal.StringValue());
+      case OpKind::kFnCall:
+        return core::CoreFnName(op.fn);
+      case OpKind::kCompare:
+        return std::string("Compare ") + xdm::CompareOpName(op.cmp_op);
+      case OpKind::kArith:
+        return std::string("Arith ") + xdm::ArithOpName(op.arith_op);
+      case OpKind::kAnd:
+        return "and";
+      case OpKind::kOr:
+        return "or";
+      case OpKind::kSequence:
+        return "Sequence";
+      case OpKind::kIf:
+        return "If";
+      case OpKind::kForEach:
+        return "ForEach $" + vars_.NameOf(op.var) +
+               (op.pos_var != core::kNoVar
+                    ? " at $" + vars_.NameOf(op.pos_var)
+                    : "");
+      case OpKind::kLetIn:
+        return "LetIn $" + vars_.NameOf(op.var);
+      case OpKind::kTypeswitch:
+        return "Typeswitch";
+    }
+    return "?";
+  }
+
+  int Visit(const Op& op) {
+    int id = next_id_++;
+    out_ += "  n" + std::to_string(id) + " [label=\"" + Label(op) + "\"";
+    if (op.kind == OpKind::kTupleTreePattern) {
+      out_ += ", style=filled, fillcolor=\"#cde3f6\"";
+    } else if (op.kind == OpKind::kTreeJoin) {
+      out_ += ", style=filled, fillcolor=\"#f6e3cd\"";
+    }
+    out_ += "];\n";
+    for (const OpPtr& in : op.inputs) {
+      int child = Visit(*in);
+      out_ += "  n" + std::to_string(child) + " -> n" + std::to_string(id) +
+              ";\n";
+    }
+    if (op.dep) {
+      int child = Visit(*op.dep);
+      out_ += "  n" + std::to_string(child) + " -> n" + std::to_string(id) +
+              " [style=dashed, label=\"dep\"];\n";
+    }
+    if (op.dep2) {
+      int child = Visit(*op.dep2);
+      out_ += "  n" + std::to_string(child) + " -> n" + std::to_string(id) +
+              " [style=dashed, label=\"where\"];\n";
+    }
+    return id;
+  }
+
+  const core::VarTable& vars_;
+  const StringInterner& interner_;
+  std::string out_;
+  int next_id_ = 0;
+};
+
+}  // namespace
+
+std::string ToDot(const Op& plan, const core::VarTable& vars,
+                  const StringInterner& interner) {
+  DotWriter w(vars, interner);
+  return w.Render(plan);
+}
+
+}  // namespace xqtp::algebra

@@ -1,0 +1,20 @@
+// Graphviz (DOT) rendering of algebra plans, for documentation and
+// debugging: one box per operator, solid edges for independent inputs,
+// dashed edges for dependent sub-plans.
+#ifndef XQTP_ALGEBRA_DOT_H_
+#define XQTP_ALGEBRA_DOT_H_
+
+#include <string>
+
+#include "algebra/ops.h"
+#include "core/ast.h"
+
+namespace xqtp::algebra {
+
+/// Renders the plan as a DOT digraph. Pipe into `dot -Tsvg` to visualize.
+std::string ToDot(const Op& plan, const core::VarTable& vars,
+                  const StringInterner& interner);
+
+}  // namespace xqtp::algebra
+
+#endif  // XQTP_ALGEBRA_DOT_H_

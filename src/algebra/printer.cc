@@ -1,0 +1,186 @@
+#include "algebra/printer.h"
+
+namespace xqtp::algebra {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const core::VarTable& vars, const StringInterner& interner,
+          bool pretty)
+      : vars_(vars), interner_(interner), pretty_(pretty) {}
+
+  std::string Render(const Op& op) {
+    Print(op, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Newline(int indent) {
+    if (!pretty_) return;
+    out_ += '\n';
+    out_.append(static_cast<size_t>(indent) * 2, ' ');
+  }
+
+  void PrintName(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kMapFromItem:
+        out_ += "MapFromItem";
+        break;
+      case OpKind::kMapToItem:
+        out_ += "MapToItem";
+        break;
+      case OpKind::kSelect:
+        out_ += "Select";
+        break;
+      case OpKind::kTupleTreePattern:
+        out_ += "TupleTreePattern";
+        break;
+      case OpKind::kTreeJoin:
+        out_ += "TreeJoin";
+        break;
+      case OpKind::kDdo:
+        out_ += "fs:ddo";
+        break;
+      case OpKind::kForEach:
+        out_ += "ForEach";
+        break;
+      case OpKind::kLetIn:
+        out_ += "LetIn";
+        break;
+      case OpKind::kTypeswitch:
+        out_ += "Typeswitch";
+        break;
+      case OpKind::kIf:
+        out_ += "If";
+        break;
+      case OpKind::kSequence:
+        out_ += "Sequence";
+        break;
+      case OpKind::kFnCall:
+        out_ += core::CoreFnName(op.fn);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Print(const Op& op, int indent) {
+    switch (op.kind) {
+      case OpKind::kConst:
+        if (op.literal.IsString()) {
+          out_ += '"' + op.literal.str() + '"';
+        } else {
+          out_ += op.literal.StringValue();
+        }
+        return;
+      case OpKind::kGlobalVar:
+      case OpKind::kScopedVar:
+        out_ += '$';
+        out_ += vars_.NameOf(op.var);
+        return;
+      case OpKind::kInputItem:
+        out_ += "IN";
+        return;
+      case OpKind::kInputTuple:
+        out_ += "IN";
+        return;
+      case OpKind::kFieldAccess:
+        out_ += "IN#";
+        out_ += interner_.NameOf(op.field);
+        return;
+      case OpKind::kCompare:
+        Print(*op.inputs[0], indent);
+        out_ += xdm::CompareOpName(op.cmp_op);
+        Print(*op.inputs[1], indent);
+        return;
+      case OpKind::kArith:
+        Print(*op.inputs[0], indent);
+        out_ += xdm::ArithOpName(op.arith_op);
+        Print(*op.inputs[1], indent);
+        return;
+      case OpKind::kAnd:
+        Print(*op.inputs[0], indent);
+        out_ += " and ";
+        Print(*op.inputs[1], indent);
+        return;
+      case OpKind::kOr:
+        Print(*op.inputs[0], indent);
+        out_ += " or ";
+        Print(*op.inputs[1], indent);
+        return;
+      default:
+        break;
+    }
+
+    PrintName(op);
+    // Bracket parameter: tree pattern or navigational step.
+    if (op.kind == OpKind::kTupleTreePattern) {
+      out_ += '[';
+      out_ += op.tp.ToString(interner_);
+      out_ += ']';
+    } else if (op.kind == OpKind::kTreeJoin) {
+      out_ += '[';
+      out_ += StepToString(op.axis, op.test, interner_);
+      out_ += ']';
+    } else if (op.kind == OpKind::kForEach) {
+      out_ += "[$" + vars_.NameOf(op.var);
+      if (op.pos_var != core::kNoVar) {
+        out_ += " at $" + vars_.NameOf(op.pos_var);
+      }
+      out_ += ']';
+    } else if (op.kind == OpKind::kLetIn) {
+      out_ += "[$" + vars_.NameOf(op.var) + ']';
+    }
+    // Dependent sub-plans in curly braces.
+    if (op.kind == OpKind::kMapFromItem) {
+      out_ += "{[";
+      out_ += interner_.NameOf(op.field);
+      out_ += " : ";
+      Print(*op.dep, indent);
+      out_ += "]}";
+    } else if (op.dep != nullptr) {
+      out_ += '{';
+      Print(*op.dep, indent + 1);
+      out_ += '}';
+      if (op.dep2 != nullptr) {
+        out_ += (op.kind == OpKind::kForEach) ? "where{" : "{";
+        Print(*op.dep2, indent + 1);
+        out_ += '}';
+      }
+    }
+    // Independent inputs.
+    out_ += '(';
+    if (!op.inputs.empty()) {
+      Newline(indent + 1);
+      bool first = true;
+      for (const OpPtr& in : op.inputs) {
+        if (!first) out_ += ", ";
+        first = false;
+        Print(*in, indent + 1);
+      }
+    }
+    out_ += ')';
+  }
+
+  const core::VarTable& vars_;
+  const StringInterner& interner_;
+  bool pretty_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string ToString(const Op& plan, const core::VarTable& vars,
+                     const StringInterner& interner) {
+  Printer p(vars, interner, /*pretty=*/false);
+  return p.Render(plan);
+}
+
+std::string ToPrettyString(const Op& plan, const core::VarTable& vars,
+                           const StringInterner& interner) {
+  Printer p(vars, interner, /*pretty=*/true);
+  return p.Render(plan);
+}
+
+}  // namespace xqtp::algebra

@@ -1,0 +1,26 @@
+// Plan rendering in the paper's functional notation, e.g.
+//   MapToItem{IN#out}
+//   (TupleTreePattern
+//     [IN#dot/descendant::person[child::emailaddress]/child::name{out}]
+//   (MapFromItem{[dot : IN]}($d)))
+#ifndef XQTP_ALGEBRA_PRINTER_H_
+#define XQTP_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "algebra/ops.h"
+#include "core/ast.h"
+
+namespace xqtp::algebra {
+
+/// Single-line rendering (used for plan-equality tests).
+std::string ToString(const Op& plan, const core::VarTable& vars,
+                     const StringInterner& interner);
+
+/// Indented multi-line rendering (used by explain output and examples).
+std::string ToPrettyString(const Op& plan, const core::VarTable& vars,
+                           const StringInterner& interner);
+
+}  // namespace xqtp::algebra
+
+#endif  // XQTP_ALGEBRA_PRINTER_H_

@@ -1,0 +1,24 @@
+#include "common/exec_stats.h"
+
+namespace xqtp {
+
+namespace {
+thread_local ExecStats* g_current = nullptr;
+}  // namespace
+
+std::string ExecStats::ToString() const {
+  return "nodes_visited=" + std::to_string(nodes_visited) +
+         " index_entries=" + std::to_string(index_entries_scanned) +
+         " index_skips=" + std::to_string(index_skips) +
+         " pattern_evals=" + std::to_string(pattern_evals);
+}
+
+ExecStats* CurrentExecStats() { return g_current; }
+
+ScopedExecStats::ScopedExecStats() : previous_(g_current) {
+  g_current = &stats_;
+}
+
+ScopedExecStats::~ScopedExecStats() { g_current = previous_; }
+
+}  // namespace xqtp

@@ -1,0 +1,68 @@
+// Execution work counters: how much of the document / index an algorithm
+// actually touched. The paper's Section 5 arguments are all about this
+// quantity ("NLJoin visits a very limited portion of the tree", "SCJoins
+// and TwigJoins scan the index once for each step") — the counters make
+// them observable.
+//
+// Collection is opt-in and scoped:
+//   xqtp::ScopedExecStats scope;
+//   ... evaluate ...
+//   scope.stats().index_entries_scanned ...
+#ifndef XQTP_COMMON_EXEC_STATS_H_
+#define XQTP_COMMON_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xqtp {
+
+struct ExecStats {
+  /// Tree nodes touched by cursor navigation (NL) or stream events
+  /// (streaming evaluation).
+  int64_t nodes_visited = 0;
+  /// Per-tag index entries scanned by the Staircase / Twig merges.
+  int64_t index_entries_scanned = 0;
+  /// Binary searches (skips) into index streams.
+  int64_t index_skips = 0;
+  /// TupleTreePattern evaluations (one per input tuple per operator).
+  int64_t pattern_evals = 0;
+
+  std::string ToString() const;
+};
+
+/// The collector for the current scope, or nullptr when collection is off.
+ExecStats* CurrentExecStats();
+
+/// RAII enabling of collection. Scopes nest; inner scopes shadow outer
+/// ones (the inner scope's counters are NOT added to the outer scope).
+class ScopedExecStats {
+ public:
+  ScopedExecStats();
+  ~ScopedExecStats();
+  ScopedExecStats(const ScopedExecStats&) = delete;
+  ScopedExecStats& operator=(const ScopedExecStats&) = delete;
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  ExecStats stats_;
+  ExecStats* previous_;
+};
+
+/// Counting helpers (no-ops when collection is off).
+inline void CountNodesVisited(int64_t n) {
+  if (ExecStats* s = CurrentExecStats()) s->nodes_visited += n;
+}
+inline void CountIndexEntries(int64_t n) {
+  if (ExecStats* s = CurrentExecStats()) s->index_entries_scanned += n;
+}
+inline void CountIndexSkip() {
+  if (ExecStats* s = CurrentExecStats()) ++s->index_skips;
+}
+inline void CountPatternEval() {
+  if (ExecStats* s = CurrentExecStats()) ++s->pattern_evals;
+}
+
+}  // namespace xqtp
+
+#endif  // XQTP_COMMON_EXEC_STATS_H_

@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace xqtp {
+
+Symbol StringInterner::Intern(std::string_view name) {
+  auto it = map_.find(std::string(name));
+  if (it != map_.end()) return it->second;
+  Symbol sym = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  map_.emplace(names_.back(), sym);
+  return sym;
+}
+
+Symbol StringInterner::Lookup(std::string_view name) const {
+  auto it = map_.find(std::string(name));
+  return it == map_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace xqtp

@@ -1,0 +1,45 @@
+// String interner mapping names (element tags, attribute names, tuple field
+// names) to dense integer symbols. All documents and queries processed by one
+// Engine share one interner, so tag comparison anywhere in the pipeline is an
+// integer comparison.
+#ifndef XQTP_COMMON_INTERNER_H_
+#define XQTP_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xqtp {
+
+/// Dense symbol id produced by StringInterner. kInvalidSymbol means "none".
+using Symbol = int32_t;
+inline constexpr Symbol kInvalidSymbol = -1;
+
+/// Bidirectional name <-> Symbol map. Not thread-safe; one per Engine.
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the symbol for `name`, creating it on first use.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the symbol for `name` or kInvalidSymbol if never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  /// Returns the name for a valid symbol.
+  const std::string& NameOf(Symbol sym) const { return names_.at(sym); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Symbol> map_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xqtp
+
+#endif  // XQTP_COMMON_INTERNER_H_

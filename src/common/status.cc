@@ -1,0 +1,21 @@
+#include "common/status.h"
+
+namespace xqtp {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case StatusCode::kNotImplemented:
+      return "NotImplemented: " + message_;
+    case StatusCode::kTypeError:
+      return "TypeError: " + message_;
+    case StatusCode::kInternal:
+      return "Internal: " + message_;
+  }
+  return "Unknown: " + message_;
+}
+
+}  // namespace xqtp

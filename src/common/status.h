@@ -1,0 +1,112 @@
+// Status / Result error-handling primitives, in the style of Arrow and
+// RocksDB: public APIs never throw; fallible operations return a Status or
+// a Result<T> carrying either a value or an error description.
+#ifndef XQTP_COMMON_STATUS_H_
+#define XQTP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xqtp {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad XML, bad query text)
+  kNotImplemented,    ///< feature outside the supported fragment
+  kTypeError,         ///< dynamic or static type error during evaluation
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define XQTP_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::xqtp::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+#define XQTP_CONCAT_IMPL(a, b) a##b
+#define XQTP_CONCAT(a, b) XQTP_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T>-returning expression; on error propagate the status,
+/// otherwise move the value into `lhs` (a declaration or assignable lvalue).
+#define XQTP_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto XQTP_CONCAT(_res_, __LINE__) = (expr);                    \
+  if (!XQTP_CONCAT(_res_, __LINE__).ok())                        \
+    return XQTP_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(XQTP_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace xqtp
+
+#endif  // XQTP_COMMON_STATUS_H_

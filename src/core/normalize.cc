@@ -1,0 +1,472 @@
+#include "core/normalize.h"
+
+#include <unordered_map>
+
+namespace xqtp::core {
+
+namespace {
+
+using xquery::Expr;
+using xquery::ExprKind;
+using xquery::FlworClause;
+
+/// Normalization environment: surface-variable scope plus the focus
+/// (context item, position, last) as Core variables.
+struct Env {
+  std::unordered_map<std::string, VarId> scope;
+  VarId dot = kNoVar;
+  VarId position = kNoVar;
+  VarId last = kNoVar;
+};
+
+/// Conservative check used for the `//` simplification: returns true if the
+/// predicate can never evaluate to a numeric value (so it is never a
+/// positional predicate) and does not reference position()/last().
+bool DefinitelyNonPositional(const Expr& pred) {
+  switch (pred.kind) {
+    case ExprKind::kStep:
+    case ExprKind::kPath:
+    case ExprKind::kRoot:
+    case ExprKind::kContextItem:
+      return true;
+    case ExprKind::kFilter:
+      return DefinitelyNonPositional(*pred.child0);
+    case ExprKind::kCompare: {
+      // A comparison is boolean, so non-positional — but its operands may
+      // reference position()/last(), which must bind to the enclosing step.
+      // That is still fine for the // simplification as long as the
+      // operands don't use the context position; check recursively.
+      auto no_pos_fn = [](const Expr& e, auto&& self) -> bool {
+        if (e.kind == ExprKind::kFnCall &&
+            (e.fn_name == "position" || e.fn_name == "fn:position" ||
+             e.fn_name == "last" || e.fn_name == "fn:last")) {
+          return false;
+        }
+        auto walk = [&](const xquery::ExprPtr& p) {
+          return p == nullptr || self(*p, self);
+        };
+        if (!walk(e.child0) || !walk(e.child1) || !walk(e.ret)) return false;
+        for (const auto& c : e.predicates) {
+          if (!self(*c, self)) return false;
+        }
+        for (const auto& c : e.args) {
+          if (!self(*c, self)) return false;
+        }
+        for (const auto& c : e.items) {
+          if (!self(*c, self)) return false;
+        }
+        for (const auto& cl : e.clauses) {
+          if (cl.expr && !self(*cl.expr, self)) return false;
+        }
+        return true;
+      };
+      return no_pos_fn(pred, no_pos_fn);
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      return DefinitelyNonPositional(*pred.child0) &&
+             DefinitelyNonPositional(*pred.child1);
+    case ExprKind::kFnCall:
+      return pred.fn_name == "fn:boolean" || pred.fn_name == "boolean" ||
+             pred.fn_name == "fn:not" || pred.fn_name == "not" ||
+             pred.fn_name == "fn:exists" || pred.fn_name == "exists" ||
+             pred.fn_name == "fn:empty" || pred.fn_name == "empty";
+    case ExprKind::kLiteral:
+      return pred.literal.IsString() || pred.literal.IsBoolean();
+    default:
+      return false;  // conservative: variables, FLWOR, sequences
+  }
+}
+
+class Normalizer {
+ public:
+  explicit Normalizer(VarTable* vars) : vars_(vars) {}
+
+  Result<CoreExprPtr> Run(const Expr& e) {
+    Env env;
+    return Norm(e, env);
+  }
+
+ private:
+  /// Builds the focus-introducing scaffold shared by the / and [] rules:
+  ///   let $seq := ddo(input) return
+  ///   let $last := fn:count($seq) return
+  ///   for $dot at $position in $seq (where ...)? return body
+  /// `make_where` and `make_body` receive the inner environment.
+  template <typename WhereFn, typename BodyFn>
+  Result<CoreExprPtr> FocusLoop(CoreExprPtr input, const Env& outer,
+                                WhereFn make_where, BodyFn make_body) {
+    VarId seq = vars_->Fresh("seq");
+    VarId last = vars_->Fresh("last");
+    VarId dot = vars_->Fresh("dot");
+    VarId position = vars_->Fresh("position");
+    Env inner = outer;
+    inner.dot = dot;
+    inner.position = position;
+    inner.last = last;
+    XQTP_ASSIGN_OR_RETURN(CoreExprPtr where, make_where(inner));
+    XQTP_ASSIGN_OR_RETURN(CoreExprPtr body, make_body(inner));
+    CoreExprPtr loop = MakeFor(dot, position, MakeVar(seq), std::move(where),
+                               std::move(body));
+    CoreExprPtr with_last = MakeLet(
+        last, MakeFnCall(CoreFn::kCount, VecOf(MakeVar(seq))),
+        std::move(loop));
+    return MakeLet(seq, MakeDdo(std::move(input)), std::move(with_last));
+  }
+
+  static std::vector<CoreExprPtr> VecOf(CoreExprPtr a) {
+    std::vector<CoreExprPtr> v;
+    v.push_back(std::move(a));
+    return v;
+  }
+  static std::vector<CoreExprPtr> VecOf(CoreExprPtr a, CoreExprPtr b) {
+    std::vector<CoreExprPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+  }
+
+  /// [E1/E2] — the paper's rule, with the surrounding ddo.
+  Result<CoreExprPtr> NormPath(const Expr& e1, const Expr& e2,
+                               const Env& env) {
+    XQTP_ASSIGN_OR_RETURN(CoreExprPtr input, Norm(e1, env));
+    XQTP_ASSIGN_OR_RETURN(
+        CoreExprPtr loop,
+        FocusLoop(
+            std::move(input), env,
+            [](const Env&) -> Result<CoreExprPtr> {
+              return CoreExprPtr(nullptr);
+            },
+            [&](const Env& inner) { return Norm(e2, inner); }));
+    return MakeDdo(std::move(loop));
+  }
+
+  /// [E [P]] — predicate rule with the positional typeswitch.
+  Result<CoreExprPtr> NormPredicate(CoreExprPtr input, const Expr& pred,
+                                    const Env& env) {
+    return FocusLoop(
+        std::move(input), env,
+        [&](const Env& inner) -> Result<CoreExprPtr> {
+          XQTP_ASSIGN_OR_RETURN(CoreExprPtr p, Norm(pred, inner));
+          VarId v_num = vars_->Fresh("v");
+          VarId v_def = vars_->Fresh("v");
+          CoreExprPtr numeric_branch = MakeCompare(
+              xdm::CompareOp::kEq, MakeVar(inner.position), MakeVar(v_num));
+          CoreExprPtr default_branch =
+              MakeFnCall(CoreFn::kBoolean, VecOf(MakeVar(v_def)));
+          return MakeTypeswitch(std::move(p), v_num,
+                                std::move(numeric_branch), v_def,
+                                std::move(default_branch));
+        },
+        [](const Env& inner) -> Result<CoreExprPtr> {
+          return MakeVar(inner.dot);
+        });
+  }
+
+  /// Normalizes a step's predicates (left to right) around `base`.
+  Result<CoreExprPtr> NormPredicates(CoreExprPtr base,
+                                     const std::vector<xquery::ExprPtr>& preds,
+                                     const Env& env) {
+    CoreExprPtr cur = std::move(base);
+    for (const xquery::ExprPtr& p : preds) {
+      XQTP_ASSIGN_OR_RETURN(cur, NormPredicate(std::move(cur), *p, env));
+    }
+    return cur;
+  }
+
+  Result<CoreExprPtr> NormFlwor(const Expr& e, const Env& env) {
+    return NormClauses(e.clauses, 0, *e.ret, env);
+  }
+
+  Result<CoreExprPtr> NormClauses(const std::vector<FlworClause>& clauses,
+                                  size_t i, const Expr& ret, const Env& env) {
+    if (i == clauses.size()) return Norm(ret, env);
+    const FlworClause& c = clauses[i];
+    switch (c.kind) {
+      case FlworClause::Kind::kFor: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr seq, Norm(*c.expr, env));
+        VarId v = vars_->Fresh(c.var);
+        VarId pv = c.pos_var.empty() ? kNoVar : vars_->Fresh(c.pos_var);
+        Env inner = env;
+        inner.scope[c.var] = v;
+        if (pv != kNoVar) inner.scope[c.pos_var] = pv;
+        // A where clause directly following binds to this for.
+        CoreExprPtr where;
+        size_t next = i + 1;
+        if (next < clauses.size() &&
+            clauses[next].kind == FlworClause::Kind::kWhere &&
+            next + 1 == clauses.size()) {
+          XQTP_ASSIGN_OR_RETURN(CoreExprPtr cond,
+                                Norm(*clauses[next].expr, inner));
+          where = MakeFnCall(CoreFn::kBoolean, VecOf(std::move(cond)));
+          ++next;
+        }
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr body,
+                              NormClauses(clauses, next, ret, inner));
+        return MakeFor(v, pv, std::move(seq), std::move(where),
+                       std::move(body));
+      }
+      case FlworClause::Kind::kLet: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr binding, Norm(*c.expr, env));
+        VarId v = vars_->Fresh(c.var);
+        Env inner = env;
+        inner.scope[c.var] = v;
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr body,
+                              NormClauses(clauses, i + 1, ret, inner));
+        return MakeLet(v, std::move(binding), std::move(body));
+      }
+      case FlworClause::Kind::kWhere: {
+        // A where not folded into a for: conditional expression.
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr cond, Norm(*c.expr, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr body,
+                              NormClauses(clauses, i + 1, ret, env));
+        return MakeIf(MakeFnCall(CoreFn::kBoolean, VecOf(std::move(cond))),
+                      std::move(body), MakeEmpty());
+      }
+    }
+    return Status::Internal("unreachable FLWOR clause kind");
+  }
+
+  Result<CoreExprPtr> NormFnCall(const Expr& e, const Env& env) {
+    std::string name = e.fn_name;
+    if (name.rfind("fn:", 0) == 0) name = name.substr(3);
+    if (name == "position") {
+      if (env.position == kNoVar) {
+        return Status::InvalidArgument("position() used without a focus");
+      }
+      return MakeVar(env.position);
+    }
+    if (name == "last") {
+      if (env.last == kNoVar) {
+        return Status::InvalidArgument("last() used without a focus");
+      }
+      return MakeVar(env.last);
+    }
+    if (name == "true") return MakeLiteral(xdm::Item(true));
+    if (name == "false") return MakeLiteral(xdm::Item(false));
+    CoreFn fn;
+    if (name == "boolean") {
+      fn = CoreFn::kBoolean;
+    } else if (name == "count") {
+      fn = CoreFn::kCount;
+    } else if (name == "not") {
+      fn = CoreFn::kNot;
+    } else if (name == "empty") {
+      fn = CoreFn::kEmpty;
+    } else if (name == "exists") {
+      fn = CoreFn::kExists;
+    } else if (name == "root") {
+      fn = CoreFn::kRoot;
+    } else if (name == "data") {
+      fn = CoreFn::kData;
+    } else if (name == "string") {
+      fn = CoreFn::kString;
+    } else if (name == "number") {
+      fn = CoreFn::kNumber;
+    } else if (name == "string-length") {
+      fn = CoreFn::kStringLength;
+    } else if (name == "concat") {
+      fn = CoreFn::kConcat;
+    } else if (name == "contains") {
+      fn = CoreFn::kContains;
+    } else if (name == "starts-with") {
+      fn = CoreFn::kStartsWith;
+    } else if (name == "sum") {
+      fn = CoreFn::kSum;
+    } else {
+      return Status::NotImplemented("function " + e.fn_name +
+                                    " is outside the supported fragment");
+    }
+    int arity = CoreFnArity(fn);
+    if (arity >= 0 ? static_cast<int>(e.args.size()) != arity
+                   : e.args.size() < 2) {
+      return Status::InvalidArgument(
+          "wrong number of arguments for " + e.fn_name + " (got " +
+          std::to_string(e.args.size()) + ")");
+    }
+    std::vector<CoreExprPtr> args;
+    for (const xquery::ExprPtr& a : e.args) {
+      XQTP_ASSIGN_OR_RETURN(CoreExprPtr ca, Norm(*a, env));
+      args.push_back(std::move(ca));
+    }
+    return MakeFnCall(fn, std::move(args));
+  }
+
+  Result<CoreExprPtr> Norm(const Expr& e, const Env& env) {
+    switch (e.kind) {
+      case ExprKind::kVarRef: {
+        auto it = env.scope.find(e.var_name);
+        if (it != env.scope.end()) return MakeVar(it->second);
+        // Free variable: a query global, bound by the engine at run time.
+        return MakeVar(vars_->Global(e.var_name));
+      }
+      case ExprKind::kLiteral:
+        return MakeLiteral(e.literal);
+      case ExprKind::kContextItem: {
+        VarId dot = env.dot;
+        if (dot == kNoVar) dot = vars_->Global(".");
+        return MakeVar(dot);
+      }
+      case ExprKind::kRoot: {
+        VarId dot = env.dot;
+        if (dot == kNoVar) dot = vars_->Global(".");
+        return MakeFnCall(CoreFn::kRoot, VecOf(MakeVar(dot)));
+      }
+      case ExprKind::kPath: {
+        const Expr& e1 = *e.child0;
+        const Expr& e2 = *e.child1;
+        if (!e.double_slash) return NormPath(e1, e2, env);
+        // E1//E2. Footnote simplification when safe:
+        //   E1//name[preds] == E1/descendant::name[preds]
+        if (e2.kind == ExprKind::kStep && e2.axis == Axis::kChild) {
+          bool safe = true;
+          for (const xquery::ExprPtr& p : e2.predicates) {
+            if (!DefinitelyNonPositional(*p)) {
+              safe = false;
+              break;
+            }
+          }
+          if (safe) {
+            return NormPathStepWithPreds(e1, Axis::kDescendant, e2.test,
+                                         e2.predicates, env);
+          }
+        }
+        // General expansion: E1/descendant-or-self::node()/E2.
+        Expr dos(ExprKind::kStep);
+        dos.axis = Axis::kDescendantOrSelf;
+        dos.test = NodeTest::AnyNode();
+        // [ (E1/dos::node()) / E2 ]: build the outer / over a synthetic
+        // inner path. Normalize inner first.
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr inner_done, NormPath(e1, dos, env));
+        return NormPathPrenormalized(std::move(inner_done), e2, env);
+      }
+      case ExprKind::kStep: {
+        if (env.dot == kNoVar) {
+          return Status::InvalidArgument(
+              "path step used without a context item");
+        }
+        CoreExprPtr base = MakeStep(env.dot, e.axis, e.test);
+        if (e.predicates.empty()) return base;
+        return NormPredicates(std::move(base), e.predicates, env);
+      }
+      case ExprKind::kFilter: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr base, Norm(*e.child0, env));
+        return NormPredicates(std::move(base), e.predicates, env);
+      }
+      case ExprKind::kFlwor:
+        return NormFlwor(e, env);
+      case ExprKind::kFnCall:
+        return NormFnCall(e, env);
+      case ExprKind::kCompare: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr l, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr r, Norm(*e.child1, env));
+        return MakeCompare(e.cmp_op, std::move(l), std::move(r));
+      }
+      case ExprKind::kArith: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr l, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr r, Norm(*e.child1, env));
+        return MakeArith(e.arith_op, std::move(l), std::move(r));
+      }
+      case ExprKind::kUnion: {
+        // E1 | E2 == ddo((E1, E2)).
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr l, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr r, Norm(*e.child1, env));
+        std::vector<CoreExprPtr> parts;
+        parts.push_back(std::move(l));
+        parts.push_back(std::move(r));
+        auto seq = std::make_unique<CoreExpr>(CoreKind::kSequence);
+        seq->children = std::move(parts);
+        return MakeDdo(std::move(seq));
+      }
+      case ExprKind::kIfExpr: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr c, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr t, Norm(*e.child1, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr f, Norm(*e.ret, env));
+        return MakeIf(std::move(c), std::move(t), std::move(f));
+      }
+      case ExprKind::kQuantified: {
+        // some $x in E satisfies P  == fn:exists(for $x in E where P
+        //                                        return $x)
+        // every $x in E satisfies P == fn:empty(for $x in E where
+        //                                       fn:not(P) return $x)
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr seq, Norm(*e.child0, env));
+        VarId v = vars_->Fresh(e.var_name);
+        Env inner = env;
+        inner.scope[e.var_name] = v;
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr cond, Norm(*e.child1, inner));
+        if (e.is_every) {
+          cond = MakeFnCall(CoreFn::kNot, VecOf(std::move(cond)));
+        }
+        CoreExprPtr loop =
+            MakeFor(v, kNoVar, std::move(seq), std::move(cond), MakeVar(v));
+        return MakeFnCall(e.is_every ? CoreFn::kEmpty : CoreFn::kExists,
+                          VecOf(std::move(loop)));
+      }
+      case ExprKind::kAnd: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr l, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr r, Norm(*e.child1, env));
+        return MakeAnd(std::move(l), std::move(r));
+      }
+      case ExprKind::kOr: {
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr l, Norm(*e.child0, env));
+        XQTP_ASSIGN_OR_RETURN(CoreExprPtr r, Norm(*e.child1, env));
+        return MakeOr(std::move(l), std::move(r));
+      }
+      case ExprKind::kSequence: {
+        std::vector<CoreExprPtr> items;
+        for (const xquery::ExprPtr& it : e.items) {
+          XQTP_ASSIGN_OR_RETURN(CoreExprPtr ci, Norm(*it, env));
+          items.push_back(std::move(ci));
+        }
+        return MakeSequence(std::move(items));
+      }
+    }
+    return Status::Internal("unreachable surface expression kind");
+  }
+
+  /// [E1/axis::test[preds]] with E1 already given as surface syntax; used
+  /// by the // simplification to rewrite the axis without mutating the AST.
+  Result<CoreExprPtr> NormPathStepWithPreds(
+      const Expr& e1, Axis axis, const NodeTest& test,
+      const std::vector<xquery::ExprPtr>& preds, const Env& env) {
+    XQTP_ASSIGN_OR_RETURN(CoreExprPtr input, Norm(e1, env));
+    XQTP_ASSIGN_OR_RETURN(
+        CoreExprPtr loop,
+        FocusLoop(
+            std::move(input), env,
+            [](const Env&) -> Result<CoreExprPtr> {
+              return CoreExprPtr(nullptr);
+            },
+            [&](const Env& inner) -> Result<CoreExprPtr> {
+              CoreExprPtr base = MakeStep(inner.dot, axis, test);
+              if (preds.empty()) return base;
+              return NormPredicates(std::move(base), preds, inner);
+            }));
+    return MakeDdo(std::move(loop));
+  }
+
+  /// [inner/E2] where `inner` is already normalized Core.
+  Result<CoreExprPtr> NormPathPrenormalized(CoreExprPtr inner, const Expr& e2,
+                                            const Env& env) {
+    XQTP_ASSIGN_OR_RETURN(
+        CoreExprPtr loop,
+        FocusLoop(
+            std::move(inner), env,
+            [](const Env&) -> Result<CoreExprPtr> {
+              return CoreExprPtr(nullptr);
+            },
+            [&](const Env& in) { return Norm(e2, in); }));
+    return MakeDdo(std::move(loop));
+  }
+
+  VarTable* vars_;
+};
+
+}  // namespace
+
+Result<CoreExprPtr> Normalize(const xquery::Expr& e, VarTable* vars) {
+  Normalizer n(vars);
+  return n.Run(e);
+}
+
+}  // namespace xqtp::core

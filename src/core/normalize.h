@@ -1,0 +1,37 @@
+// Normalization from the surface AST to XQuery Core, per the W3C Formal
+// Semantics rules for path and FLWOR expressions (the paper's first
+// compilation phase; Q1a becomes Q1a-n).
+//
+// The key rules:
+//   [E1/E2]  = ddo( let $seq := ddo([E1]) return
+//                   let $last := fn:count($seq) return
+//                   for $dot at $position in $seq return [E2] )
+//   [E1[P]]  =      let $seq := ddo([E1]) return
+//                   let $last := fn:count($seq) return
+//                   for $dot at $position in $seq
+//                   where typeswitch ([P])
+//                         case $v as numeric() return $position = $v
+//                         default $v return fn:boolean($v)
+//                   return $dot
+//   [E1//E2] = [E1/descendant::E2]            when E2 is a name step with
+//                                             no possibly-positional
+//                                             predicate (the paper's
+//                                             footnote simplification)
+//            = [E1/descendant-or-self::node()/E2]  otherwise
+// plus the standard FLWOR clause-by-clause rules.
+#ifndef XQTP_CORE_NORMALIZE_H_
+#define XQTP_CORE_NORMALIZE_H_
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "xquery/ast.h"
+
+namespace xqtp::core {
+
+/// Normalizes a surface expression. Free variables of the query are
+/// registered as globals in `vars`.
+Result<CoreExprPtr> Normalize(const xquery::Expr& e, VarTable* vars);
+
+}  // namespace xqtp::core
+
+#endif  // XQTP_CORE_NORMALIZE_H_

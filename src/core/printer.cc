@@ -1,0 +1,169 @@
+#include "core/printer.h"
+
+namespace xqtp::core {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const VarTable& vars, const StringInterner& interner,
+          const PrintOptions& opts)
+      : vars_(vars), interner_(interner), opts_(opts) {}
+
+  std::string Render(const CoreExpr& e) {
+    Print(e);
+    return std::move(out_);
+  }
+
+ private:
+  void Var(VarId v) {
+    out_ += '$';
+    out_ += vars_.NameOf(v);
+    if (opts_.verbose) out_ += "_" + std::to_string(v);
+  }
+
+  void Print(const CoreExpr& e) {
+    switch (e.kind) {
+      case CoreKind::kVar:
+        Var(e.var);
+        break;
+      case CoreKind::kLiteral:
+        if (e.literal.IsString()) {
+          out_ += '"' + e.literal.str() + '"';
+        } else {
+          out_ += e.literal.StringValue();
+        }
+        break;
+      case CoreKind::kSequence: {
+        out_ += '(';
+        bool first = true;
+        for (const CoreExprPtr& c : e.children) {
+          if (!first) out_ += ", ";
+          first = false;
+          Print(*c);
+        }
+        out_ += ')';
+        break;
+      }
+      case CoreKind::kLet:
+        out_ += "let ";
+        Var(e.var);
+        out_ += " := ";
+        MaybeParen(*e.children[0]);
+        out_ += " return ";
+        Print(*e.children[1]);
+        break;
+      case CoreKind::kFor:
+        out_ += "for ";
+        Var(e.var);
+        if (e.pos_var != kNoVar) {
+          out_ += " at ";
+          Var(e.pos_var);
+        }
+        out_ += " in ";
+        MaybeParen(*e.children[0]);
+        if (e.where) {
+          out_ += " where ";
+          MaybeParen(*e.where);
+        }
+        out_ += " return ";
+        Print(*e.children[1]);
+        break;
+      case CoreKind::kIf:
+        out_ += "if (";
+        Print(*e.children[0]);
+        out_ += ") then ";
+        Print(*e.children[1]);
+        out_ += " else ";
+        Print(*e.children[2]);
+        break;
+      case CoreKind::kStep:
+        if (opts_.verbose) {
+          Var(e.var);
+          out_ += '/';
+        }
+        out_ += StepToString(e.axis, e.test, interner_);
+        break;
+      case CoreKind::kDdo:
+        out_ += "ddo(";
+        Print(*e.children[0]);
+        out_ += ')';
+        break;
+      case CoreKind::kFnCall: {
+        out_ += CoreFnName(e.fn);
+        out_ += '(';
+        bool first = true;
+        for (const CoreExprPtr& c : e.children) {
+          if (!first) out_ += ", ";
+          first = false;
+          Print(*c);
+        }
+        out_ += ')';
+        break;
+      }
+      case CoreKind::kTypeswitch:
+        out_ += "typeswitch (";
+        Print(*e.children[0]);
+        out_ += ") case ";
+        Var(e.case_var);
+        out_ += " as numeric() return ";
+        Print(*e.children[1]);
+        out_ += " default ";
+        Var(e.default_var);
+        out_ += " return ";
+        Print(*e.children[2]);
+        break;
+      case CoreKind::kCompare:
+        MaybeParen(*e.children[0]);
+        out_ += ' ';
+        out_ += xdm::CompareOpName(e.cmp_op);
+        out_ += ' ';
+        MaybeParen(*e.children[1]);
+        break;
+      case CoreKind::kArith:
+        MaybeParen(*e.children[0]);
+        out_ += ' ';
+        out_ += xdm::ArithOpName(e.arith_op);
+        out_ += ' ';
+        MaybeParen(*e.children[1]);
+        break;
+      case CoreKind::kAnd:
+        MaybeParen(*e.children[0]);
+        out_ += " and ";
+        MaybeParen(*e.children[1]);
+        break;
+      case CoreKind::kOr:
+        MaybeParen(*e.children[0]);
+        out_ += " or ";
+        MaybeParen(*e.children[1]);
+        break;
+    }
+  }
+
+  /// Parenthesizes binder expressions inside operators for readability.
+  void MaybeParen(const CoreExpr& e) {
+    bool paren = e.kind == CoreKind::kLet || e.kind == CoreKind::kFor ||
+                 e.kind == CoreKind::kIf || e.kind == CoreKind::kTypeswitch ||
+                 e.kind == CoreKind::kAnd || e.kind == CoreKind::kOr ||
+                 e.kind == CoreKind::kCompare || e.kind == CoreKind::kArith;
+    if (paren) out_ += '(';
+    Print(e);
+    if (paren) out_ += ')';
+  }
+
+  const VarTable& vars_;
+  const StringInterner& interner_;
+  const PrintOptions& opts_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string ToString(const CoreExpr& e, const VarTable& vars,
+                     const StringInterner& interner,
+                     const PrintOptions& opts) {
+  Printer p(vars, interner, opts);
+  return p.Render(e);
+}
+
+}  // namespace xqtp::core

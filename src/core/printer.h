@@ -1,0 +1,25 @@
+// Rendering of Core expressions in the paper's style, e.g.
+//   ddo(for $dot in $d return descendant::person)
+// Steps print bare (without their context variable) like the paper; a
+// verbose mode prints unique variable ids for debugging scope issues.
+#ifndef XQTP_CORE_PRINTER_H_
+#define XQTP_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/ast.h"
+
+namespace xqtp::core {
+
+struct PrintOptions {
+  /// Print $name_<id> instead of $name, and the step context explicitly.
+  bool verbose = false;
+};
+
+std::string ToString(const CoreExpr& e, const VarTable& vars,
+                     const StringInterner& interner,
+                     const PrintOptions& opts = {});
+
+}  // namespace xqtp::core
+
+#endif  // XQTP_CORE_PRINTER_H_

@@ -1,0 +1,40 @@
+// The paper's second compilation phase: rewriting normalized Core
+// expressions into TPNF' so that syntactically different but equivalent
+// queries reach the algebraic compiler in one canonical form.
+//
+// Rule families (Section 3 of the paper), each independently switchable so
+// the ablation benchmark can measure their contribution:
+//  - Type rewritings: eliminate / bypass the typeswitch produced by
+//    predicate normalization, using static types.
+//  - FLWOR rewritings: dead-let elimination, single-use variable inlining,
+//    unused positional-variable removal.
+//  - Document order rewritings: remove ddo calls whose input is provably
+//    ordered and duplicate-free, or whose context is insensitive to order
+//    and duplicates (an enclosing ddo re-establishes both).
+//  - Loop split: re-nests for-loops to hoist iteration out of predicate
+//    evaluation; blocked when a positional variable is in use.
+#ifndef XQTP_CORE_REWRITE_H_
+#define XQTP_CORE_REWRITE_H_
+
+#include "common/status.h"
+#include "core/ast.h"
+
+namespace xqtp::core {
+
+struct RewriteOptions {
+  bool typeswitch_rules = true;
+  bool flwor_rules = true;
+  bool ddo_removal = true;
+  bool loop_split = true;
+  /// Fixpoint bound; the rule system terminates far earlier in practice.
+  int max_rounds = 64;
+};
+
+/// Rewrites `e` to TPNF'. Always terminates (bounded rounds); each round
+/// applies every enabled rule family once, bottom-up.
+Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
+                                  const RewriteOptions& opts = {});
+
+}  // namespace xqtp::core
+
+#endif  // XQTP_CORE_REWRITE_H_

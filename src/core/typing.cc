@@ -1,0 +1,118 @@
+#include "core/typing.h"
+
+namespace xqtp::core {
+
+bool DefinitelyNotNumeric(AbstractType t) {
+  switch (t) {
+    case AbstractType::kBoolean:
+    case AbstractType::kString:
+    case AbstractType::kNodes:
+      return true;
+    case AbstractType::kNumeric:
+    case AbstractType::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+bool DefinitelyNumeric(AbstractType t) { return t == AbstractType::kNumeric; }
+
+namespace {
+
+AbstractType Join(AbstractType a, AbstractType b) {
+  if (a == b) return a;
+  return AbstractType::kUnknown;
+}
+
+AbstractType Infer(const CoreExpr& e, const VarTable& vars, TypeEnv* env) {
+  switch (e.kind) {
+    case CoreKind::kVar: {
+      auto it = env->find(e.var);
+      if (it != env->end()) return it->second;
+      if (vars.IsGlobal(e.var)) return vars.GlobalType(e.var);
+      return AbstractType::kUnknown;
+    }
+    case CoreKind::kLiteral:
+      if (e.literal.IsNumeric()) return AbstractType::kNumeric;
+      if (e.literal.IsBoolean()) return AbstractType::kBoolean;
+      if (e.literal.IsString()) return AbstractType::kString;
+      return AbstractType::kNodes;
+    case CoreKind::kSequence: {
+      if (e.children.empty()) return AbstractType::kUnknown;  // empty: any
+      AbstractType t = Infer(*e.children[0], vars, env);
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        t = Join(t, Infer(*e.children[i], vars, env));
+      }
+      return t;
+    }
+    case CoreKind::kLet: {
+      AbstractType bt = Infer(*e.children[0], vars, env);
+      (*env)[e.var] = bt;
+      return Infer(*e.children[1], vars, env);
+    }
+    case CoreKind::kFor: {
+      AbstractType st = Infer(*e.children[0], vars, env);
+      (*env)[e.var] = st;  // items of the sequence have the sequence's type
+      if (e.pos_var != kNoVar) (*env)[e.pos_var] = AbstractType::kNumeric;
+      if (e.where) Infer(*e.where, vars, env);
+      return Infer(*e.children[1], vars, env);
+    }
+    case CoreKind::kIf: {
+      Infer(*e.children[0], vars, env);
+      return Join(Infer(*e.children[1], vars, env),
+                  Infer(*e.children[2], vars, env));
+    }
+    case CoreKind::kStep:
+    case CoreKind::kDdo:
+      return AbstractType::kNodes;
+    case CoreKind::kFnCall:
+      for (const CoreExprPtr& c : e.children) Infer(*c, vars, env);
+      switch (e.fn) {
+        case CoreFn::kCount:
+        case CoreFn::kNumber:
+        case CoreFn::kStringLength:
+        case CoreFn::kSum:
+          return AbstractType::kNumeric;
+        case CoreFn::kBoolean:
+        case CoreFn::kNot:
+        case CoreFn::kEmpty:
+        case CoreFn::kExists:
+        case CoreFn::kContains:
+        case CoreFn::kStartsWith:
+          return AbstractType::kBoolean;
+        case CoreFn::kRoot:
+          return AbstractType::kNodes;
+        case CoreFn::kData:
+        case CoreFn::kString:
+        case CoreFn::kConcat:
+          return AbstractType::kString;
+      }
+      return AbstractType::kUnknown;
+    case CoreKind::kTypeswitch: {
+      AbstractType it = Infer(*e.children[0], vars, env);
+      (*env)[e.case_var] = AbstractType::kNumeric;
+      (*env)[e.default_var] = it;
+      return Join(Infer(*e.children[1], vars, env),
+                  Infer(*e.children[2], vars, env));
+    }
+    case CoreKind::kCompare:
+    case CoreKind::kAnd:
+    case CoreKind::kOr:
+      for (const CoreExprPtr& c : e.children) Infer(*c, vars, env);
+      return AbstractType::kBoolean;
+    case CoreKind::kArith:
+      for (const CoreExprPtr& c : e.children) Infer(*c, vars, env);
+      return AbstractType::kNumeric;
+  }
+  return AbstractType::kUnknown;
+}
+
+}  // namespace
+
+AbstractType InferType(const CoreExpr& e, const VarTable& vars,
+                       const TypeEnv& env) {
+  TypeEnv scratch = env;
+  return Infer(e, vars, &scratch);
+}
+
+}  // namespace xqtp::core

@@ -1,0 +1,31 @@
+// Minimal static typing for Core expressions — just enough to drive the
+// paper's typeswitch rewriting rules ("remove case clauses which are sure
+// to be unused" / "bypass the typeswitch in case one clause is sure to be
+// used") for the numeric() case produced by predicate normalization.
+#ifndef XQTP_CORE_TYPING_H_
+#define XQTP_CORE_TYPING_H_
+
+#include <unordered_map>
+
+#include "core/ast.h"
+
+namespace xqtp::core {
+
+/// Variable typing environment.
+using TypeEnv = std::unordered_map<VarId, AbstractType>;
+
+/// Infers the item type of `e` under `env`. Variables absent from `env`
+/// resolve through the VarTable global declarations (globals default to
+/// kNodes per the engine binding contract).
+AbstractType InferType(const CoreExpr& e, const VarTable& vars,
+                       const TypeEnv& env);
+
+/// True iff a value of type `t` can never be numeric.
+bool DefinitelyNotNumeric(AbstractType t);
+
+/// True iff a value of type `t` is always numeric.
+bool DefinitelyNumeric(AbstractType t);
+
+}  // namespace xqtp::core
+
+#endif  // XQTP_CORE_TYPING_H_

@@ -1,0 +1,123 @@
+#include "engine/engine.h"
+
+#include "algebra/printer.h"
+#include "core/printer.h"
+
+namespace xqtp::engine {
+
+Result<const xml::Document*> Engine::LoadDocument(const std::string& name,
+                                                  std::string_view xml_text) {
+  XQTP_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        xml::Parse(xml_text, &interner_));
+  return AddDocument(name, std::move(doc));
+}
+
+const xml::Document* Engine::AddDocument(const std::string& name,
+                                         std::unique_ptr<xml::Document> doc) {
+  doc->set_id(next_doc_id_++);
+  const xml::Document* raw = doc.get();
+  docs_[name] = std::move(doc);
+  return raw;
+}
+
+const xml::Document* Engine::FindDocument(const std::string& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second.get();
+}
+
+Result<CompiledQuery> Engine::Compile(std::string_view query,
+                                      const CompileOptions& opts) {
+  CompiledQuery q;
+  q.source_ = std::string(query);
+
+  XQTP_ASSIGN_OR_RETURN(xquery::ExprPtr surface,
+                        xquery::ParseQuery(query, &interner_));
+  XQTP_ASSIGN_OR_RETURN(q.normalized_, core::Normalize(*surface, &q.vars_));
+
+  if (opts.rewrite) {
+    XQTP_ASSIGN_OR_RETURN(
+        q.rewritten_,
+        core::RewriteToTPNF(core::Clone(*q.normalized_), &q.vars_,
+                            opts.rewrite_opts));
+  } else {
+    q.rewritten_ = core::Clone(*q.normalized_);
+  }
+
+  XQTP_ASSIGN_OR_RETURN(q.plan_,
+                        algebra::Compile(*q.rewritten_, q.vars_, &interner_));
+  q.optimized_ = algebra::Clone(*q.plan_);
+  algebra::OptimizeOptions oopts;
+  oopts.detect_tree_patterns = opts.detect_tree_patterns;
+  oopts.positional_patterns = opts.positional_patterns;
+  oopts.multi_output_patterns = opts.multi_output_patterns;
+  XQTP_RETURN_NOT_OK(algebra::Optimize(&q.optimized_, &interner_, oopts));
+  return q;
+}
+
+std::vector<std::string> CompiledQuery::GlobalNames() const {
+  std::vector<std::string> names;
+  for (core::VarId v = 0; v < static_cast<core::VarId>(vars_.size()); ++v) {
+    if (vars_.IsGlobal(v)) names.push_back(vars_.NameOf(v));
+  }
+  return names;
+}
+
+Result<xdm::Sequence> Engine::Execute(const CompiledQuery& q,
+                                      const GlobalMap& globals,
+                                      exec::PatternAlgo algo,
+                                      PlanChoice plan) const {
+  exec::Bindings bindings;
+  for (core::VarId v = 0; v < static_cast<core::VarId>(q.vars().size());
+       ++v) {
+    if (!q.vars().IsGlobal(v)) continue;
+    auto it = globals.find(q.vars().NameOf(v));
+    if (it == globals.end()) {
+      return Status::InvalidArgument("no binding provided for query global $" +
+                                     q.vars().NameOf(v));
+    }
+    bindings[v] = it->second;
+  }
+  switch (plan) {
+    case PlanChoice::kOptimized: {
+      exec::EvalOptions opts;
+      opts.algo = algo;
+      return exec::Evaluate(q.optimized(), q.vars(), bindings, opts);
+    }
+    case PlanChoice::kUnoptimized: {
+      exec::EvalOptions opts;
+      opts.algo = algo;
+      return exec::Evaluate(q.plan(), q.vars(), bindings, opts);
+    }
+    case PlanChoice::kCoreInterp:
+      return exec::EvaluateCore(q.rewritten(), q.vars(), bindings);
+  }
+  return Status::Internal("unknown plan choice");
+}
+
+Result<xdm::Sequence> Engine::Run(std::string_view query,
+                                  const xml::Document& doc,
+                                  exec::PatternAlgo algo,
+                                  const CompileOptions& opts) {
+  XQTP_ASSIGN_OR_RETURN(CompiledQuery q, Compile(query, opts));
+  GlobalMap globals;
+  for (const std::string& name : q.GlobalNames()) {
+    globals[name] = xdm::Sequence{xdm::Item(doc.root())};
+  }
+  return Execute(q, globals, algo);
+}
+
+std::string Engine::Explain(const CompiledQuery& q) const {
+  std::string out;
+  out += "== query ==\n" + q.source() + "\n";
+  out += "\n== normalized core ==\n";
+  out += core::ToString(q.normalized(), q.vars(), interner_) + "\n";
+  out += "\n== rewritten core (TPNF') ==\n";
+  out += core::ToString(q.rewritten(), q.vars(), interner_) + "\n";
+  out += "\n== algebra plan ==\n";
+  out += algebra::ToPrettyString(q.plan(), q.vars(), interner_) + "\n";
+  out += "\n== optimized plan ==\n";
+  out += algebra::ToPrettyString(q.optimized(), q.vars(), interner_) + "\n";
+  return out;
+}
+
+}  // namespace xqtp::engine

@@ -1,0 +1,156 @@
+#include "exec/core_interp.h"
+
+#include "exec/fn_lib.h"
+
+#include <unordered_map>
+
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+namespace {
+
+using core::CoreExpr;
+using core::CoreExprPtr;
+using core::CoreFn;
+using core::CoreKind;
+using xdm::Item;
+using xdm::Sequence;
+
+class Interp {
+ public:
+  Interp(const core::VarTable& vars, const Bindings& bindings)
+      : vars_(vars), bindings_(bindings) {}
+
+  Result<Sequence> Eval(const CoreExpr& e) {
+    switch (e.kind) {
+      case CoreKind::kVar:
+        return LookupVar(e.var);
+      case CoreKind::kLiteral:
+        return Sequence{e.literal};
+      case CoreKind::kSequence: {
+        Sequence out;
+        for (const CoreExprPtr& c : e.children) {
+          XQTP_ASSIGN_OR_RETURN(Sequence part, Eval(*c));
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      }
+      case CoreKind::kLet: {
+        XQTP_ASSIGN_OR_RETURN(Sequence binding, Eval(*e.children[0]));
+        env_[e.var] = std::move(binding);
+        Result<Sequence> res = Eval(*e.children[1]);
+        env_.erase(e.var);
+        return res;
+      }
+      case CoreKind::kFor: {
+        XQTP_ASSIGN_OR_RETURN(Sequence seq, Eval(*e.children[0]));
+        Sequence out;
+        for (size_t i = 0; i < seq.size(); ++i) {
+          env_[e.var] = Sequence{seq[i]};
+          if (e.pos_var != core::kNoVar) {
+            env_[e.pos_var] = Sequence{Item(static_cast<int64_t>(i + 1))};
+          }
+          if (e.where) {
+            XQTP_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.where));
+            XQTP_ASSIGN_OR_RETURN(bool keep,
+                                  xdm::EffectiveBooleanValue(cond));
+            if (!keep) continue;
+          }
+          XQTP_ASSIGN_OR_RETURN(Sequence part, Eval(*e.children[1]));
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        env_.erase(e.var);
+        if (e.pos_var != core::kNoVar) env_.erase(e.pos_var);
+        return out;
+      }
+      case CoreKind::kIf: {
+        XQTP_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.children[0]));
+        XQTP_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(cond));
+        return Eval(*e.children[b ? 1 : 2]);
+      }
+      case CoreKind::kStep: {
+        XQTP_ASSIGN_OR_RETURN(Sequence ctx, LookupVar(e.var));
+        Sequence out;
+        for (const Item& it : ctx) {
+          if (!it.IsNode()) {
+            return Status::TypeError("path step applied to an atomic value");
+          }
+          xdm::EvalAxisStep(it.node(), e.axis, e.test, &out);
+        }
+        return out;
+      }
+      case CoreKind::kDdo: {
+        XQTP_ASSIGN_OR_RETURN(Sequence in, Eval(*e.children[0]));
+        return xdm::DistinctDocOrder(std::move(in));
+      }
+      case CoreKind::kFnCall:
+        return EvalFn(e);
+      case CoreKind::kTypeswitch: {
+        XQTP_ASSIGN_OR_RETURN(Sequence input, Eval(*e.children[0]));
+        bool numeric = input.size() == 1 && input[0].IsNumeric();
+        core::VarId v = numeric ? e.case_var : e.default_var;
+        const CoreExpr& branch = numeric ? *e.children[1] : *e.children[2];
+        env_[v] = std::move(input);
+        Result<Sequence> res = Eval(branch);
+        env_.erase(v);
+        return res;
+      }
+      case CoreKind::kCompare: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, Eval(*e.children[0]));
+        XQTP_ASSIGN_OR_RETURN(Sequence r, Eval(*e.children[1]));
+        XQTP_ASSIGN_OR_RETURN(bool b, xdm::GeneralCompare(e.cmp_op, l, r));
+        return Sequence{Item(b)};
+      }
+      case CoreKind::kArith: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, Eval(*e.children[0]));
+        XQTP_ASSIGN_OR_RETURN(Sequence r, Eval(*e.children[1]));
+        return xdm::EvalArith(e.arith_op, l, r);
+      }
+      case CoreKind::kAnd:
+      case CoreKind::kOr: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, Eval(*e.children[0]));
+        XQTP_ASSIGN_OR_RETURN(bool lb, xdm::EffectiveBooleanValue(l));
+        if (e.kind == CoreKind::kAnd && !lb) return Sequence{Item(false)};
+        if (e.kind == CoreKind::kOr && lb) return Sequence{Item(true)};
+        XQTP_ASSIGN_OR_RETURN(Sequence r, Eval(*e.children[1]));
+        XQTP_ASSIGN_OR_RETURN(bool rb, xdm::EffectiveBooleanValue(r));
+        return Sequence{Item(rb)};
+      }
+    }
+    return Status::Internal("unreachable core kind");
+  }
+
+ private:
+  Result<Sequence> LookupVar(core::VarId v) {
+    auto it = env_.find(v);
+    if (it != env_.end()) return it->second;
+    auto git = bindings_.find(v);
+    if (git != bindings_.end()) return git->second;
+    return Status::InvalidArgument("unbound variable $" + vars_.NameOf(v));
+  }
+
+  Result<Sequence> EvalFn(const CoreExpr& e) {
+    std::vector<Sequence> args;
+    for (const CoreExprPtr& c : e.children) {
+      XQTP_ASSIGN_OR_RETURN(Sequence a, Eval(*c));
+      args.push_back(std::move(a));
+    }
+    return ApplyCoreFn(e.fn, args);
+  }
+
+  const core::VarTable& vars_;
+  const Bindings& bindings_;
+  std::unordered_map<core::VarId, Sequence> env_;
+};
+
+}  // namespace
+
+Result<Sequence> EvaluateCore(const CoreExpr& e, const core::VarTable& vars,
+                              const Bindings& bindings) {
+  Interp interp(vars, bindings);
+  return interp.Eval(e);
+}
+
+}  // namespace xqtp::exec

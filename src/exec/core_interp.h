@@ -1,0 +1,19 @@
+// Direct interpreter for Core expressions — the semantics reference the
+// tests compare every compiled/optimized plan against.
+#ifndef XQTP_EXEC_CORE_INTERP_H_
+#define XQTP_EXEC_CORE_INTERP_H_
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "exec/evaluator.h"
+
+namespace xqtp::exec {
+
+/// Evaluates a Core expression under global bindings.
+Result<xdm::Sequence> EvaluateCore(const core::CoreExpr& e,
+                                   const core::VarTable& vars,
+                                   const Bindings& bindings);
+
+}  // namespace xqtp::exec
+
+#endif  // XQTP_EXEC_CORE_INTERP_H_

@@ -1,0 +1,267 @@
+#include "exec/evaluator.h"
+
+#include "exec/fn_lib.h"
+
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+namespace {
+
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+using xdm::Item;
+using xdm::Sequence;
+
+class Evaluator {
+ public:
+  Evaluator(const core::VarTable& vars, const Bindings& bindings,
+            const EvalOptions& opts)
+      : vars_(vars), bindings_(bindings), opts_(opts) {}
+
+  Result<Sequence> Run(const Op& plan) {
+    return EvalItem(plan, nullptr, nullptr);
+  }
+
+ private:
+  /// Evaluates an item plan. `tuple` is the current tuple for dependent
+  /// plans (IN#field / IN as tuple); `item` is the current item for
+  /// MapFromItem dependents (IN as item).
+  Result<Sequence> EvalItem(const Op& op, const Tuple* tuple,
+                            const Item* item) {
+    switch (op.kind) {
+      case OpKind::kConst:
+        return Sequence{op.literal};
+      case OpKind::kGlobalVar: {
+        auto it = bindings_.find(op.var);
+        if (it == bindings_.end()) {
+          return Status::InvalidArgument("unbound query global $" +
+                                         vars_.NameOf(op.var));
+        }
+        return it->second;
+      }
+      case OpKind::kScopedVar: {
+        auto it = scoped_.find(op.var);
+        if (it == scoped_.end()) {
+          return Status::Internal("unbound scoped variable $" +
+                                  vars_.NameOf(op.var));
+        }
+        return it->second;
+      }
+      case OpKind::kInputItem:
+        if (item == nullptr) {
+          return Status::Internal("IN (item) used outside a dependent plan");
+        }
+        return Sequence{*item};
+      case OpKind::kFieldAccess: {
+        if (tuple == nullptr) {
+          return Status::Internal("IN#field used outside a tuple context");
+        }
+        const Sequence* v = tuple->Get(op.field);
+        if (v == nullptr) return Sequence{};
+        return *v;
+      }
+      case OpKind::kTreeJoin: {
+        XQTP_ASSIGN_OR_RETURN(Sequence ctx,
+                              EvalItem(*op.inputs[0], tuple, item));
+        Sequence out;
+        for (const Item& it : ctx) {
+          if (!it.IsNode()) {
+            return Status::TypeError("path step applied to an atomic value");
+          }
+          xdm::EvalAxisStep(it.node(), op.axis, op.test, &out);
+        }
+        return out;
+      }
+      case OpKind::kDdo: {
+        XQTP_ASSIGN_OR_RETURN(Sequence in,
+                              EvalItem(*op.inputs[0], tuple, item));
+        return xdm::DistinctDocOrder(std::move(in));
+      }
+      case OpKind::kMapToItem: {
+        XQTP_ASSIGN_OR_RETURN(TupleSeq tuples,
+                              EvalTuples(*op.inputs[0], tuple));
+        Sequence out;
+        for (const Tuple& t : tuples) {
+          XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, &t, nullptr));
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      }
+      case OpKind::kFnCall:
+        return EvalFnCall(op, tuple, item);
+      case OpKind::kCompare: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, EvalItem(*op.inputs[0], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(Sequence r, EvalItem(*op.inputs[1], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(bool b, xdm::GeneralCompare(op.cmp_op, l, r));
+        return Sequence{Item(b)};
+      }
+      case OpKind::kArith: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, EvalItem(*op.inputs[0], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(Sequence r, EvalItem(*op.inputs[1], tuple, item));
+        return xdm::EvalArith(op.arith_op, l, r);
+      }
+      case OpKind::kAnd:
+      case OpKind::kOr: {
+        XQTP_ASSIGN_OR_RETURN(Sequence l, EvalItem(*op.inputs[0], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(bool lb, xdm::EffectiveBooleanValue(l));
+        if (op.kind == OpKind::kAnd && !lb) return Sequence{Item(false)};
+        if (op.kind == OpKind::kOr && lb) return Sequence{Item(true)};
+        XQTP_ASSIGN_OR_RETURN(Sequence r, EvalItem(*op.inputs[1], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(bool rb, xdm::EffectiveBooleanValue(r));
+        return Sequence{Item(rb)};
+      }
+      case OpKind::kSequence: {
+        Sequence out;
+        for (const OpPtr& in : op.inputs) {
+          XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*in, tuple, item));
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      }
+      case OpKind::kIf: {
+        XQTP_ASSIGN_OR_RETURN(Sequence c, EvalItem(*op.inputs[0], tuple, item));
+        XQTP_ASSIGN_OR_RETURN(bool cb, xdm::EffectiveBooleanValue(c));
+        return EvalItem(*op.inputs[cb ? 1 : 2], tuple, item);
+      }
+      case OpKind::kForEach: {
+        XQTP_ASSIGN_OR_RETURN(Sequence seq,
+                              EvalItem(*op.inputs[0], tuple, item));
+        Sequence out;
+        for (size_t i = 0; i < seq.size(); ++i) {
+          scoped_[op.var] = Sequence{seq[i]};
+          if (op.pos_var != core::kNoVar) {
+            scoped_[op.pos_var] =
+                Sequence{Item(static_cast<int64_t>(i + 1))};
+          }
+          if (op.dep2 != nullptr) {
+            XQTP_ASSIGN_OR_RETURN(Sequence cond,
+                                  EvalItem(*op.dep2, tuple, item));
+            XQTP_ASSIGN_OR_RETURN(bool keep,
+                                  xdm::EffectiveBooleanValue(cond));
+            if (!keep) continue;
+          }
+          XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, tuple, item));
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        scoped_.erase(op.var);
+        if (op.pos_var != core::kNoVar) scoped_.erase(op.pos_var);
+        return out;
+      }
+      case OpKind::kLetIn: {
+        XQTP_ASSIGN_OR_RETURN(Sequence binding,
+                              EvalItem(*op.inputs[0], tuple, item));
+        scoped_[op.var] = std::move(binding);
+        Result<Sequence> res = EvalItem(*op.dep, tuple, item);
+        scoped_.erase(op.var);
+        return res;
+      }
+      case OpKind::kTypeswitch: {
+        XQTP_ASSIGN_OR_RETURN(Sequence input,
+                              EvalItem(*op.inputs[0], tuple, item));
+        bool numeric = input.size() == 1 && input[0].IsNumeric();
+        core::VarId v = numeric ? op.var : op.pos_var;
+        const Op& branch = numeric ? *op.dep : *op.dep2;
+        scoped_[v] = std::move(input);
+        Result<Sequence> res = EvalItem(branch, tuple, item);
+        scoped_.erase(v);
+        return res;
+      }
+      // Tuple plans are not item plans.
+      case OpKind::kMapFromItem:
+      case OpKind::kSelect:
+      case OpKind::kTupleTreePattern:
+      case OpKind::kInputTuple:
+        return Status::Internal("tuple plan evaluated in item context");
+    }
+    return Status::Internal("unreachable operator kind");
+  }
+
+  Result<Sequence> EvalFnCall(const Op& op, const Tuple* tuple,
+                              const Item* item) {
+    std::vector<Sequence> args;
+    args.reserve(op.inputs.size());
+    for (const OpPtr& in : op.inputs) {
+      XQTP_ASSIGN_OR_RETURN(Sequence a, EvalItem(*in, tuple, item));
+      args.push_back(std::move(a));
+    }
+    return ApplyCoreFn(op.fn, args);
+  }
+
+  /// Evaluates a tuple plan. `ambient` is the enclosing tuple for plans
+  /// rooted at IN (rule (a) rewrites).
+  Result<TupleSeq> EvalTuples(const Op& op, const Tuple* ambient) {
+    switch (op.kind) {
+      case OpKind::kInputTuple: {
+        if (ambient == nullptr) {
+          return Status::Internal("IN (tuple) used outside a tuple context");
+        }
+        return TupleSeq{*ambient};
+      }
+      case OpKind::kMapFromItem: {
+        XQTP_ASSIGN_OR_RETURN(Sequence items,
+                              EvalItem(*op.inputs[0], ambient, nullptr));
+        TupleSeq out;
+        out.reserve(items.size());
+        for (const Item& it : items) {
+          Tuple t;
+          XQTP_ASSIGN_OR_RETURN(Sequence value,
+                                EvalItem(*op.dep, ambient, &it));
+          t.Set(op.field, std::move(value));
+          out.push_back(std::move(t));
+        }
+        return out;
+      }
+      case OpKind::kSelect: {
+        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
+        TupleSeq out;
+        for (Tuple& t : in) {
+          XQTP_ASSIGN_OR_RETURN(Sequence pred, EvalItem(*op.dep, &t, nullptr));
+          XQTP_ASSIGN_OR_RETURN(bool keep, xdm::EffectiveBooleanValue(pred));
+          if (keep) out.push_back(std::move(t));
+        }
+        return out;
+      }
+      case OpKind::kTupleTreePattern: {
+        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
+        TupleSeq out;
+        for (const Tuple& t : in) {
+          const Sequence* ctx = t.Get(op.tp.input_field);
+          if (ctx == nullptr) {
+            return Status::Internal(
+                "TupleTreePattern input tuple lacks the context field");
+          }
+          XQTP_ASSIGN_OR_RETURN(std::vector<BindingRow> rows,
+                                EvalPattern(op.tp, *ctx, opts_.algo));
+          for (const BindingRow& row : rows) {
+            Tuple nt = t;
+            for (const auto& [sym, node] : row.fields) {
+              nt.Set(sym, Sequence{Item(node)});
+            }
+            out.push_back(std::move(nt));
+          }
+        }
+        return out;
+      }
+      default:
+        return Status::Internal("item plan evaluated in tuple context");
+    }
+  }
+
+  const core::VarTable& vars_;
+  const Bindings& bindings_;
+  const EvalOptions& opts_;
+  std::unordered_map<core::VarId, Sequence> scoped_;
+};
+
+}  // namespace
+
+Result<Sequence> Evaluate(const Op& plan, const core::VarTable& vars,
+                          const Bindings& bindings, const EvalOptions& opts) {
+  Evaluator ev(vars, bindings, opts);
+  return ev.Run(plan);
+}
+
+}  // namespace xqtp::exec

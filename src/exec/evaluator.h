@@ -1,0 +1,32 @@
+// Evaluation of algebra plans. Tuple operators are evaluated set-at-a-time
+// (materialized tuple sequences); TupleTreePattern dispatches to the
+// configured physical algorithm (NLJoin / Staircase / Twig).
+#ifndef XQTP_EXEC_EVALUATOR_H_
+#define XQTP_EXEC_EVALUATOR_H_
+
+#include <unordered_map>
+
+#include "algebra/ops.h"
+#include "common/status.h"
+#include "core/ast.h"
+#include "exec/pattern_eval.h"
+#include "exec/tuple.h"
+
+namespace xqtp::exec {
+
+struct EvalOptions {
+  PatternAlgo algo = PatternAlgo::kNLJoin;
+};
+
+/// Values for the query's global variables.
+using Bindings = std::unordered_map<core::VarId, xdm::Sequence>;
+
+/// Evaluates a compiled (item) plan against global bindings.
+Result<xdm::Sequence> Evaluate(const algebra::Op& plan,
+                               const core::VarTable& vars,
+                               const Bindings& bindings,
+                               const EvalOptions& opts = {});
+
+}  // namespace xqtp::exec
+
+#endif  // XQTP_EXEC_EVALUATOR_H_

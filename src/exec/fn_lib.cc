@@ -1,0 +1,105 @@
+#include "exec/fn_lib.h"
+
+#include <cmath>
+
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+using xdm::Item;
+using xdm::Sequence;
+
+Result<Sequence> ApplyCoreFn(core::CoreFn fn,
+                             const std::vector<Sequence>& args) {
+  switch (fn) {
+    case core::CoreFn::kBoolean: {
+      XQTP_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(args[0]));
+      return Sequence{Item(b)};
+    }
+    case core::CoreFn::kNot: {
+      XQTP_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(args[0]));
+      return Sequence{Item(!b)};
+    }
+    case core::CoreFn::kCount:
+      return Sequence{Item(xdm::Count(args[0]))};
+    case core::CoreFn::kEmpty:
+      return Sequence{Item(args[0].empty())};
+    case core::CoreFn::kExists:
+      return Sequence{Item(!args[0].empty())};
+    case core::CoreFn::kRoot: {
+      Sequence out;
+      for (const Item& it : args[0]) {
+        if (!it.IsNode()) {
+          return Status::TypeError("fn:root applied to an atomic value");
+        }
+        const xml::Node* n = it.node();
+        while (n->parent != nullptr) n = n->parent;
+        out.push_back(Item(n));
+      }
+      return out;
+    }
+    case core::CoreFn::kData: {
+      Sequence out;
+      for (const Item& it : args[0]) out.push_back(Item(it.StringValue()));
+      return out;
+    }
+    case core::CoreFn::kString: {
+      XQTP_ASSIGN_OR_RETURN(std::string s, xdm::StringArg(args[0]));
+      return Sequence{Item(std::move(s))};
+    }
+    case core::CoreFn::kNumber: {
+      if (args[0].empty()) {
+        return Sequence{Item(std::numeric_limits<double>::quiet_NaN())};
+      }
+      if (args[0].size() > 1) {
+        return Status::TypeError("fn:number of a multi-item sequence");
+      }
+      return Sequence{Item(xdm::NumericValue(args[0][0]))};
+    }
+    case core::CoreFn::kStringLength: {
+      XQTP_ASSIGN_OR_RETURN(std::string s, xdm::StringArg(args[0]));
+      return Sequence{Item(static_cast<int64_t>(s.size()))};
+    }
+    case core::CoreFn::kConcat: {
+      std::string out;
+      for (const Sequence& a : args) {
+        XQTP_ASSIGN_OR_RETURN(std::string part, xdm::StringArg(a));
+        out += part;
+      }
+      return Sequence{Item(std::move(out))};
+    }
+    case core::CoreFn::kContains: {
+      XQTP_ASSIGN_OR_RETURN(std::string hay, xdm::StringArg(args[0]));
+      XQTP_ASSIGN_OR_RETURN(std::string needle, xdm::StringArg(args[1]));
+      return Sequence{Item(hay.find(needle) != std::string::npos)};
+    }
+    case core::CoreFn::kStartsWith: {
+      XQTP_ASSIGN_OR_RETURN(std::string s, xdm::StringArg(args[0]));
+      XQTP_ASSIGN_OR_RETURN(std::string prefix, xdm::StringArg(args[1]));
+      return Sequence{Item(s.rfind(prefix, 0) == 0)};
+    }
+    case core::CoreFn::kSum: {
+      double total = 0;
+      bool integral = true;
+      int64_t itotal = 0;
+      for (const Item& it : args[0]) {
+        double v = xdm::NumericValue(it);
+        if (std::isnan(v)) {
+          return Status::TypeError("fn:sum over a non-numeric value");
+        }
+        total += v;
+        if (it.IsInteger()) {
+          itotal += it.integer();
+        } else {
+          integral = false;
+        }
+      }
+      if (integral) return Sequence{Item(itotal)};
+      return Sequence{Item(total)};
+    }
+  }
+  return Status::Internal("unreachable core function");
+}
+
+}  // namespace xqtp::exec

@@ -1,0 +1,21 @@
+// Shared implementation of the Core built-in functions, used by both the
+// algebra-plan evaluator and the Core interpreter.
+#ifndef XQTP_EXEC_FN_LIB_H_
+#define XQTP_EXEC_FN_LIB_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/ast.h"
+#include "xdm/item.h"
+
+namespace xqtp::exec {
+
+/// Applies a Core function to evaluated arguments. Arity has been checked
+/// at normalization time.
+Result<xdm::Sequence> ApplyCoreFn(core::CoreFn fn,
+                                  const std::vector<xdm::Sequence>& args);
+
+}  // namespace xqtp::exec
+
+#endif  // XQTP_EXEC_FN_LIB_H_

@@ -1,0 +1,175 @@
+#include <algorithm>
+
+#include "exec/cost_model.h"
+#include "storage/node_table.h"
+#include "exec/exec_stats.h"
+#include "exec/pattern_eval.h"
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+const char* PatternAlgoName(PatternAlgo algo) {
+  switch (algo) {
+    case PatternAlgo::kNLJoin:
+      return "NLJoin";
+    case PatternAlgo::kStaircase:
+      return "SCJoin";
+    case PatternAlgo::kTwig:
+      return "TwigJoin";
+    case PatternAlgo::kStream:
+      return "Stream";
+    case PatternAlgo::kTwigStack:
+      return "TwigStack";
+    case PatternAlgo::kShredded:
+      return "Shredded";
+    case PatternAlgo::kCostBased:
+      return "CostBased";
+  }
+  return "?";
+}
+
+void FinalizeRows(std::vector<BindingRow>* rows) {
+  auto less = [](const BindingRow& a, const BindingRow& b) {
+    size_t n = std::min(a.fields.size(), b.fields.size());
+    for (size_t i = 0; i < n; ++i) {
+      const xml::Node* na = a.fields[i].second;
+      const xml::Node* nb = b.fields[i].second;
+      if (na != nb) return xml::DocOrderLess(na, nb);
+    }
+    return a.fields.size() < b.fields.size();
+  };
+  std::sort(rows->begin(), rows->end(), less);
+  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+}
+
+namespace {
+
+using pattern::PatternNode;
+using pattern::PatternNodePtr;
+using pattern::TreePattern;
+using xml::Node;
+
+/// True iff the sub-pattern rooted at `p` has a match starting from `ctx`
+/// (existential check used for predicate branches). Early-exits on the
+/// first match, so highly selective predicates stay cheap.
+bool ExistsMatch(const Node* ctx, const PatternNode& p) {
+  xdm::Sequence candidates;
+  xdm::EvalAxisStep(ctx, p.axis, p.test, &candidates);
+  int pos = 0;
+  for (const xdm::Item& it : candidates) {
+    const Node* n = it.node();
+    // Positional constraint: only the position-th raw match counts.
+    ++pos;
+    if (p.position > 0) {
+      if (pos < p.position) continue;
+      if (pos > p.position) break;
+    }
+    bool preds_ok = true;
+    for (const PatternNodePtr& pred : p.predicates) {
+      if (!ExistsMatch(n, *pred)) {
+        preds_ok = false;
+        break;
+      }
+    }
+    if (!preds_ok) continue;
+    if (p.next == nullptr || ExistsMatch(n, *p.next)) return true;
+  }
+  return false;
+}
+
+/// Depth-first enumeration of main-path bindings.
+void Enumerate(const Node* ctx, const PatternNode& p, BindingRow* partial,
+               std::vector<BindingRow>* rows) {
+  xdm::Sequence candidates;
+  xdm::EvalAxisStep(ctx, p.axis, p.test, &candidates);
+  int pos = 0;
+  for (const xdm::Item& it : candidates) {
+    const Node* n = it.node();
+    ++pos;
+    if (p.position > 0) {
+      if (pos < p.position) continue;
+      if (pos > p.position) break;
+    }
+    bool preds_ok = true;
+    for (const PatternNodePtr& pred : p.predicates) {
+      if (!ExistsMatch(n, *pred)) {
+        preds_ok = false;
+        break;
+      }
+    }
+    if (!preds_ok) continue;
+    bool annotated = p.output != kInvalidSymbol;
+    if (annotated) partial->fields.emplace_back(p.output, n);
+    if (p.next != nullptr) {
+      Enumerate(n, *p.next, partial, rows);
+    } else {
+      rows->push_back(*partial);
+    }
+    if (annotated) partial->fields.pop_back();
+  }
+}
+
+bool HasPredicateOutputs(const PatternNode& p) {
+  for (const PatternNodePtr& pred : p.predicates) {
+    // Any annotation inside a predicate branch.
+    const PatternNode* n = pred.get();
+    std::vector<const PatternNode*> stack{n};
+    while (!stack.empty()) {
+      const PatternNode* cur = stack.back();
+      stack.pop_back();
+      if (cur->output != kInvalidSymbol) return true;
+      for (const PatternNodePtr& q : cur->predicates) stack.push_back(q.get());
+      if (cur->next) stack.push_back(cur->next.get());
+    }
+  }
+  if (p.next) return HasPredicateOutputs(*p.next);
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<BindingRow>> EvalPatternNL(const TreePattern& tp,
+                                              const xdm::Sequence& context) {
+  if (tp.root == nullptr) return std::vector<BindingRow>{};
+  if (HasPredicateOutputs(*tp.root)) {
+    return Status::NotImplemented(
+        "output annotations inside predicate branches are not supported");
+  }
+  std::vector<BindingRow> rows;
+  BindingRow partial;
+  for (const xdm::Item& it : context) {
+    if (!it.IsNode()) {
+      return Status::TypeError(
+          "tree pattern applied to a non-node context item");
+    }
+    Enumerate(it.node(), *tp.root, &partial, &rows);
+  }
+  FinalizeRows(&rows);
+  return rows;
+}
+
+Result<std::vector<BindingRow>> EvalPattern(const TreePattern& tp,
+                                            const xdm::Sequence& context,
+                                            PatternAlgo algo) {
+  CountPatternEval();
+  switch (algo) {
+    case PatternAlgo::kNLJoin:
+      return EvalPatternNL(tp, context);
+    case PatternAlgo::kStaircase:
+      return EvalPatternStaircase(tp, context);
+    case PatternAlgo::kTwig:
+      return EvalPatternTwig(tp, context);
+    case PatternAlgo::kStream:
+      return EvalPatternStream(tp, context);
+    case PatternAlgo::kTwigStack:
+      return EvalPatternTwigStack(tp, context);
+    case PatternAlgo::kShredded:
+      return storage::EvalPatternShredded(tp, context);
+    case PatternAlgo::kCostBased:
+      return EvalPattern(tp, context, ChooseAlgorithm(tp, context));
+  }
+  return Status::Internal("unknown pattern algorithm");
+}
+
+}  // namespace xqtp::exec

@@ -1,0 +1,22 @@
+#include "exec/tuple.h"
+
+namespace xqtp::exec {
+
+void Tuple::Set(Symbol field, xdm::Sequence value) {
+  for (auto& [f, v] : fields_) {
+    if (f == field) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(field, std::move(value));
+}
+
+const xdm::Sequence* Tuple::Get(Symbol field) const {
+  for (const auto& [f, v] : fields_) {
+    if (f == field) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace xqtp::exec

@@ -1,0 +1,41 @@
+// Tuples flowing through the tuple algebra: ordered field -> sequence maps.
+// Plans manipulate a handful of fields, so a small sorted vector wins over a
+// hash map.
+#ifndef XQTP_EXEC_TUPLE_H_
+#define XQTP_EXEC_TUPLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "xdm/item.h"
+
+namespace xqtp::exec {
+
+/// One algebra tuple.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Sets (or overwrites) a field.
+  void Set(Symbol field, xdm::Sequence value);
+
+  /// Returns the field's value, or nullptr if absent.
+  const xdm::Sequence* Get(Symbol field) const;
+
+  bool Has(Symbol field) const { return Get(field) != nullptr; }
+  size_t field_count() const { return fields_.size(); }
+
+  const std::vector<std::pair<Symbol, xdm::Sequence>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<Symbol, xdm::Sequence>> fields_;
+};
+
+using TupleSeq = std::vector<Tuple>;
+
+}  // namespace xqtp::exec
+
+#endif  // XQTP_EXEC_TUPLE_H_

@@ -1,0 +1,367 @@
+// Holistic twig-join evaluation of tree patterns.
+//
+// The algorithm processes every pattern edge with ordered merges over
+// document-ordered streams — no per-node index probes — which is the
+// holistic property of TwigJoin [4]: per evaluation, each stream is
+// scanned once per pattern edge, with binary-searched skipping into the
+// context subtrees (so a TupleTreePattern embedded in a map, evaluated
+// once per tuple, only touches the tuple's region of the index).
+//
+// Three phases per evaluation:
+//   1. top-down candidate generation: cand(q) = stream(q) restricted to
+//      nodes reachable from the parent step's candidates via q's axis;
+//   2. bottom-up refinement: drop candidates that do not satisfy the
+//      predicate branches / main-path continuation (structural merge
+//      semijoins);
+//   3. a final top-down reachability pass over the refined sets, which
+//      yields the extraction set directly in document order.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/exec_stats.h"
+#include "exec/pattern_eval.h"
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+namespace {
+
+using pattern::PatternNode;
+using pattern::PatternNodePtr;
+using pattern::TreePattern;
+using xml::Document;
+using xml::Node;
+
+using NodeVec = std::vector<const Node*>;
+
+const NodeVec& StreamFor(const Document& doc, Axis axis,
+                         const NodeTest& test) {
+  static const NodeVec kEmpty;
+  if (axis == Axis::kAttribute) {
+    if (test.kind == NodeTestKind::kName) {
+      return doc.AttributesByName(test.name);
+    }
+    return kEmpty;
+  }
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return doc.ElementsByTag(test.name);
+    case NodeTestKind::kAnyName:
+      return doc.AllElements();
+    case NodeTestKind::kText:
+      return doc.TextNodes();
+    case NodeTestKind::kAnyNode:
+      return doc.AllNodes();
+  }
+  return doc.AllNodes();
+}
+
+/// Removes nodes covered by an earlier node's subtree (input pre-sorted).
+NodeVec PruneCovered(const NodeVec& v) {
+  NodeVec kept;
+  kept.reserve(v.size());
+  for (const Node* n : v) {
+    if (!kept.empty() && (kept.back() == n || kept.back()->IsAncestorOf(*n))) {
+      continue;
+    }
+    kept.push_back(n);
+  }
+  return kept;
+}
+
+/// The part of `stream` lying inside the subtrees of `roots` (pre-sorted,
+/// need not be disjoint — covered roots are pruned first). One binary
+/// search plus a contiguous scan per disjoint region.
+NodeVec WindowIntoSubtrees(const NodeVec& stream, const NodeVec& roots) {
+  NodeVec out;
+  size_t pos = 0;
+  for (const Node* r : PruneCovered(roots)) {
+    CountIndexSkip();
+    auto it = std::upper_bound(
+        stream.begin() + static_cast<ptrdiff_t>(pos), stream.end(), r->pre,
+        [](int32_t pre, const Node* n) { return pre < n->pre; });
+    pos = static_cast<size_t>(it - stream.begin());
+    while (pos < stream.size() && stream[pos]->post < r->post) {
+      out.push_back(stream[pos]);
+      ++pos;
+      CountIndexEntries(1);
+    }
+  }
+  return out;
+}
+
+/// Keep a in A iff some d in D lies below a along `axis` (both sorted).
+NodeVec SemijoinDown(const NodeVec& a_vec, const NodeVec& d_vec, Axis axis) {
+  NodeVec out;
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kAttribute: {
+      std::unordered_set<const Node*> parents;
+      parents.reserve(d_vec.size());
+      for (const Node* d : d_vec) {
+        if (d->parent != nullptr) parents.insert(d->parent);
+      }
+      for (const Node* a : a_vec) {
+        if (parents.count(a) > 0) out.push_back(a);
+      }
+      break;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      std::unordered_set<const Node*> selves;
+      if (axis == Axis::kDescendantOrSelf) {
+        selves.insert(d_vec.begin(), d_vec.end());
+      }
+      for (const Node* a : a_vec) {
+        if (axis == Axis::kDescendantOrSelf && selves.count(a) > 0) {
+          out.push_back(a);
+          continue;
+        }
+        // Descendants of `a` are contiguous in preorder: the first stream
+        // node after a.pre is inside a's subtree iff any descendant is.
+        auto it = std::upper_bound(
+            d_vec.begin(), d_vec.end(), a->pre,
+            [](int32_t pre, const Node* n) { return pre < n->pre; });
+        if (it != d_vec.end() && (*it)->post < a->post) out.push_back(a);
+      }
+      break;
+    }
+    case Axis::kSelf: {
+      std::unordered_set<const Node*> set(d_vec.begin(), d_vec.end());
+      for (const Node* a : a_vec) {
+        if (set.count(a) > 0) out.push_back(a);
+      }
+      break;
+    }
+    case Axis::kParent: {
+      std::unordered_set<const Node*> set(d_vec.begin(), d_vec.end());
+      for (const Node* a : a_vec) {
+        if (a->parent != nullptr && set.count(a->parent) > 0) {
+          out.push_back(a);
+        }
+      }
+      break;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling:
+      // Non-pattern axes never reach the twig join (NL fallback).
+      break;
+  }
+  return out;
+}
+
+/// Nodes matching `test` reachable from some node of `ctx` along `axis`,
+/// computed with subtree windowing over the per-tag stream (document
+/// order preserved). Self-membership tests use the node test directly, so
+/// the cost is bounded by the windows, never the whole stream.
+NodeVec ReachableVia(const Document& doc, Axis axis, const NodeTest& test,
+                     const NodeVec& ctx) {
+  const NodeVec& stream = StreamFor(doc, axis, test);
+  switch (axis) {
+    case Axis::kDescendant:
+      return WindowIntoSubtrees(stream, ctx);
+    case Axis::kDescendantOrSelf: {
+      NodeVec window = WindowIntoSubtrees(stream, ctx);
+      NodeVec selves;
+      for (const Node* c : ctx) {
+        if (xdm::MatchesTest(c, axis, test)) selves.push_back(c);
+      }
+      if (selves.empty()) return window;
+      NodeVec merged;
+      merged.reserve(window.size() + selves.size());
+      std::merge(window.begin(), window.end(), selves.begin(), selves.end(),
+                 std::back_inserter(merged), xml::DocOrderLess);
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      return merged;
+    }
+    case Axis::kChild:
+    case Axis::kAttribute: {
+      NodeVec window = WindowIntoSubtrees(stream, ctx);
+      std::unordered_set<const Node*> parents(ctx.begin(), ctx.end());
+      NodeVec out;
+      out.reserve(window.size());
+      for (const Node* d : window) {
+        if (d->parent != nullptr && parents.count(d->parent) > 0) {
+          out.push_back(d);
+        }
+      }
+      return out;
+    }
+    case Axis::kSelf: {
+      NodeVec out;
+      for (const Node* c : ctx) {
+        if (xdm::MatchesTest(c, axis, test)) out.push_back(c);
+      }
+      return out;
+    }
+    case Axis::kParent: {
+      NodeVec out;
+      for (const Node* c : ctx) {
+        if (c->parent != nullptr && xdm::MatchesTest(c->parent, axis, test)) {
+          out.push_back(c->parent);
+        }
+      }
+      std::sort(out.begin(), out.end(), xml::DocOrderLess);
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling:
+      break;  // non-pattern axes never reach the twig join (NL fallback)
+  }
+  return {};
+}
+
+/// Phase-3 variant of ReachableVia operating on an already-refined
+/// candidate vector (small, hashable) instead of a whole stream.
+NodeVec SemijoinUpWithin(const NodeVec& candidates, const NodeVec& ctx,
+                         Axis axis) {
+  switch (axis) {
+    case Axis::kDescendant:
+      return WindowIntoSubtrees(candidates, ctx);
+    case Axis::kDescendantOrSelf: {
+      NodeVec window = WindowIntoSubtrees(candidates, ctx);
+      std::unordered_set<const Node*> cand(candidates.begin(),
+                                           candidates.end());
+      NodeVec selves;
+      for (const Node* c : ctx) {
+        if (cand.count(c) > 0) selves.push_back(c);
+      }
+      if (selves.empty()) return window;
+      NodeVec merged;
+      merged.reserve(window.size() + selves.size());
+      std::merge(window.begin(), window.end(), selves.begin(), selves.end(),
+                 std::back_inserter(merged), xml::DocOrderLess);
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      return merged;
+    }
+    case Axis::kChild:
+    case Axis::kAttribute: {
+      std::unordered_set<const Node*> parents(ctx.begin(), ctx.end());
+      NodeVec out;
+      for (const Node* d : candidates) {
+        if (d->parent != nullptr && parents.count(d->parent) > 0) {
+          out.push_back(d);
+        }
+      }
+      return out;
+    }
+    case Axis::kSelf: {
+      std::unordered_set<const Node*> cand(candidates.begin(),
+                                           candidates.end());
+      NodeVec out;
+      for (const Node* c : ctx) {
+        if (cand.count(c) > 0) out.push_back(c);
+      }
+      return out;
+    }
+    case Axis::kParent: {
+      std::unordered_set<const Node*> cand(candidates.begin(),
+                                           candidates.end());
+      NodeVec out;
+      for (const Node* c : ctx) {
+        if (c->parent != nullptr && cand.count(c->parent) > 0) {
+          out.push_back(c->parent);
+        }
+      }
+      std::sort(out.begin(), out.end(), xml::DocOrderLess);
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling:
+      break;  // non-pattern axes never reach the twig join (NL fallback)
+  }
+  return {};
+}
+
+class TwigEval {
+ public:
+  explicit TwigEval(const Document& doc) : doc_(doc) {}
+
+  /// Phase 1+2 for the sub-twig rooted at `p` with context candidates
+  /// `ctx`: computes (and memoizes) the refined match set of every node
+  /// in the sub-twig.
+  const NodeVec& ComputeSets(const PatternNode& p, const NodeVec& ctx) {
+    NodeVec m = ReachableVia(doc_, p.axis, p.test, ctx);
+    for (const PatternNodePtr& pred : p.predicates) {
+      if (m.empty()) break;
+      const NodeVec& pm = ComputeSets(*pred, m);
+      m = SemijoinDown(m, pm, pred->axis);
+    }
+    if (p.next != nullptr && !m.empty()) {
+      const NodeVec& nm = ComputeSets(*p.next, m);
+      m = SemijoinDown(m, nm, p.next->axis);
+    }
+    return sets_[&p] = std::move(m);
+  }
+
+  const NodeVec& SetOf(const PatternNode& p) const { return sets_.at(&p); }
+
+ private:
+  const Document& doc_;
+  std::unordered_map<const PatternNode*, NodeVec> sets_;
+};
+
+}  // namespace
+
+Result<std::vector<BindingRow>> EvalPatternTwig(const TreePattern& tp,
+                                                const xdm::Sequence& context) {
+  if (tp.root == nullptr) return std::vector<BindingRow>{};
+  if (!tp.SingleOutputAtExtractionPoint() || !tp.UsesOnlyPatternAxes() ||
+      tp.HasPositionalSteps()) {
+    // Positional steps need per-parent counting, which the set-at-a-time
+    // merges cannot express — delegate to the nested-loop evaluator.
+    return EvalPatternNL(tp, context);
+  }
+  NodeVec ctx;
+  ctx.reserve(context.size());
+  for (const xdm::Item& it : context) {
+    if (!it.IsNode()) {
+      return Status::TypeError(
+          "tree pattern applied to a non-node context item");
+    }
+    ctx.push_back(it.node());
+  }
+  if (ctx.empty()) return std::vector<BindingRow>{};
+  std::sort(ctx.begin(), ctx.end(), xml::DocOrderLess);
+  ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+  // The stream-based merge works one document at a time.
+  for (const Node* n : ctx) {
+    if (n->doc != ctx.front()->doc) return EvalPatternNL(tp, context);
+  }
+
+  TwigEval eval(*ctx.front()->doc);
+  eval.ComputeSets(*tp.root, ctx);
+
+  // Phase 3: final top-down reachability over the refined main-path sets.
+  std::vector<const PatternNode*> path;
+  for (const PatternNode* p = tp.root.get(); p != nullptr;
+       p = p->next.get()) {
+    path.push_back(p);
+  }
+  NodeVec reach = eval.SetOf(*path[0]);
+  for (size_t i = 1; i < path.size() && !reach.empty(); ++i) {
+    reach = SemijoinUpWithin(eval.SetOf(*path[i]), reach, path[i]->axis);
+  }
+
+  Symbol out = tp.OutputFields()[0];
+  std::vector<BindingRow> rows;
+  rows.reserve(reach.size());
+  for (const Node* n : reach) {
+    BindingRow row;
+    row.fields.emplace_back(out, n);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace xqtp::exec

@@ -1,0 +1,123 @@
+// Tree patterns, per the grammar of Section 4.1 of the paper:
+//
+//   TreePattern ::= IN#FieldName (/Pattern)?
+//   Pattern     ::= Step ([Pattern])* (/Pattern)?
+//   Step        ::= Axis NodeTest ({FieldName})?
+//
+// A pattern is a tree of steps: each node has an axis + node test, an
+// optional output-field annotation, predicate branches, and an optional
+// continuation of the main path. The TupleTreePattern operator evaluates
+// the pattern against the context nodes found in the input tuples' field.
+#ifndef XQTP_PATTERN_TREE_PATTERN_H_
+#define XQTP_PATTERN_TREE_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "xdm/axis.h"
+
+namespace xqtp::pattern {
+
+struct PatternNode;
+using PatternNodePtr = std::unique_ptr<PatternNode>;
+
+/// One step in a tree pattern.
+struct PatternNode {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  /// Output annotation {field}; kInvalidSymbol when the step's bindings
+  /// are not returned.
+  Symbol output = kInvalidSymbol;
+  /// Positional constraint (the paper's future-work extension): when > 0,
+  /// only the position-th node matching axis::test *per parent binding*
+  /// (in document order, counted before the predicate branches) matches
+  /// this step. 0 means no constraint.
+  int position = 0;
+  /// Predicate branches ("[Pattern]").
+  std::vector<PatternNodePtr> predicates;
+  /// Continuation of the main path ("/Pattern").
+  PatternNodePtr next;
+};
+
+/// A whole tree pattern: the input field holding the context nodes plus
+/// the root step of the pattern.
+struct TreePattern {
+  Symbol input_field = kInvalidSymbol;
+  PatternNodePtr root;
+
+  TreePattern() = default;
+  TreePattern(TreePattern&&) = default;
+  TreePattern& operator=(TreePattern&&) = default;
+
+  TreePattern Clone() const;
+
+  /// The last step of the main path (the extraction point per Def. 4.1).
+  PatternNode* ExtractionPoint();
+  const PatternNode* ExtractionPoint() const;
+
+  /// All output fields, in root-to-leaf lexical order (main path first,
+  /// then predicate branches depth-first at each step).
+  std::vector<Symbol> OutputFields() const;
+
+  /// True iff the only output annotation sits on the extraction point —
+  /// the case in which the operator's semantics coincide with XPath
+  /// (document order, duplicate-free), enabling rewrite rule (f).
+  bool SingleOutputAtExtractionPoint() const;
+
+  /// Number of steps (main path + predicate branches).
+  int StepCount() const;
+
+  /// Maximum number of predicate branches hanging off any single step.
+  int MaxBranching() const;
+
+  /// Renders the paper's syntax, e.g.
+  /// "IN#dot/descendant::person[child::emailaddress]/child::name{out}".
+  std::string ToString(const StringInterner& interner) const;
+
+  /// True iff every step (main path and predicates) uses an axis allowed
+  /// by the pattern grammar (the downward axes). The optimizer only
+  /// builds such patterns; hand-built patterns violating this are
+  /// evaluated by the nested-loop algorithm.
+  bool UsesOnlyPatternAxes() const;
+
+  /// True iff any step carries a positional constraint (the extension).
+  bool HasPositionalSteps() const;
+};
+
+bool Equal(const PatternNode& a, const PatternNode& b);
+bool Equal(const TreePattern& a, const TreePattern& b);
+
+/// Builds a single-step pattern IN#input/axis::test{output}.
+TreePattern MakeSingleStep(Symbol input_field, Axis axis, const NodeTest& test,
+                           Symbol output);
+
+/// Replaces the (unique) occurrence of output field `from` with `to`.
+/// Returns false if `from` is not an output of the pattern.
+bool RenameOutput(TreePattern* tp, Symbol from, Symbol to);
+
+/// Removes the output annotation equal to `field`; used when merging
+/// patterns makes an intermediate binding unobservable.
+bool ClearOutput(TreePattern* tp, Symbol field);
+
+/// Appends `suffix`'s root chain after this pattern's extraction point
+/// (rewrite rule (d)): pattern/step1{out1} + IN#out1/step2{out2}
+/// = pattern/step1/step2{out2}. The caller must have verified that
+/// `suffix.input_field` equals this pattern's extraction-point output.
+void AppendPath(TreePattern* tp, TreePattern suffix);
+
+/// Like AppendPath but KEEPS the extraction point's output annotation,
+/// producing a multi-output ("generalized") tree pattern — rewrite rule
+/// (d') of the multi-variable extension. The operator's Section 4.1
+/// semantics (distinct bindings in root-to-leaf lexical order) make this
+/// merge unconditionally equivalent to the cascade.
+void AppendPathKeepOutput(TreePattern* tp, TreePattern suffix);
+
+/// Attaches `pred` (rooted at this pattern's extraction-point output) as a
+/// predicate branch of the extraction point (rewrite rule (e)).
+void AttachPredicate(TreePattern* tp, TreePattern pred);
+
+}  // namespace xqtp::pattern
+
+#endif  // XQTP_PATTERN_TREE_PATTERN_H_

@@ -1,0 +1,87 @@
+// Relational shredding of a document — the XPath accelerator encoding of
+// Grust et al. ("Accelerating XPath evaluation in any RDBMS", TODS'04),
+// which the paper's conclusion names as a target shredding model.
+//
+// One row per node in document order, with columnar
+// (pre, post, level, kind, tag, parent) attributes; the row id IS the pre
+// rank. Per-tag secondary "indexes" are sorted row-id lists. Axis steps
+// evaluate as pure column-range comparisons (the relational staircase
+// join), without touching the pointer-based node structure.
+#ifndef XQTP_STORAGE_NODE_TABLE_H_
+#define XQTP_STORAGE_NODE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/pattern_eval.h"
+#include "pattern/tree_pattern.h"
+#include "xml/document.h"
+
+namespace xqtp::storage {
+
+/// Row id = preorder rank over all nodes (including attributes).
+using RowId = int32_t;
+
+class NodeTable : public xml::DocumentExtension {
+ public:
+  /// Shreds `doc` into columns. O(n).
+  explicit NodeTable(const xml::Document& doc);
+
+  int64_t size() const { return static_cast<int64_t>(post_.size()); }
+
+  int32_t post(RowId r) const { return post_[static_cast<size_t>(r)]; }
+  int16_t level(RowId r) const { return level_[static_cast<size_t>(r)]; }
+  xml::NodeKind kind(RowId r) const { return kind_[static_cast<size_t>(r)]; }
+  Symbol tag(RowId r) const { return tag_[static_cast<size_t>(r)]; }
+  /// Parent row, or -1 for the document row.
+  RowId parent(RowId r) const { return parent_[static_cast<size_t>(r)]; }
+
+  /// Original node of a row (for converting results back to XDM).
+  const xml::Node* node(RowId r) const { return node_[static_cast<size_t>(r)]; }
+  /// Row of a node (its pre rank).
+  RowId row(const xml::Node* n) const { return n->pre; }
+
+  /// Sorted row ids of the elements with `tag` (the per-tag index).
+  const std::vector<RowId>& ElementRows(Symbol tag) const;
+  /// Sorted row ids of all element rows / attribute rows with a name.
+  const std::vector<RowId>& AllElementRows() const { return all_elements_; }
+  const std::vector<RowId>& AttributeRows(Symbol name) const;
+  const std::vector<RowId>& TextRows() const { return text_rows_; }
+  const std::vector<RowId>& AllNodeRows() const { return all_nodes_; }
+
+  /// True iff row `a` is a proper ancestor of row `d` (pure column test:
+  /// a < d in pre order and d's post below a's).
+  bool IsAncestor(RowId a, RowId d) const {
+    return a < d && post(d) < post(a);
+  }
+
+  /// The shredding of `doc`, built on first use and cached on the
+  /// document.
+  static const NodeTable& For(const xml::Document& doc);
+
+ private:
+  std::vector<int32_t> post_;
+  std::vector<int16_t> level_;
+  std::vector<xml::NodeKind> kind_;
+  std::vector<Symbol> tag_;
+  std::vector<RowId> parent_;
+  std::vector<const xml::Node*> node_;
+  std::vector<RowId> all_elements_;
+  std::vector<RowId> text_rows_;
+  std::vector<RowId> all_nodes_;
+  std::unordered_map<Symbol, std::vector<RowId>> tag_rows_;
+  std::unordered_map<Symbol, std::vector<RowId>> attr_rows_;
+  std::vector<RowId> empty_;
+};
+
+/// Evaluates a tree pattern against the shredded table (the relational
+/// staircase join over the accelerator encoding). Same semantics and
+/// restrictions as the pointer-based staircase join.
+Result<std::vector<exec::BindingRow>> EvalPatternShredded(
+    const pattern::TreePattern& tp, const xdm::Sequence& context);
+
+}  // namespace xqtp::storage
+
+#endif  // XQTP_STORAGE_NODE_TABLE_H_

@@ -1,0 +1,183 @@
+#include "workload/member_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+namespace xqtp::workload {
+
+namespace {
+
+/// Average bytes per element when serialized: "<t042></t042>" ~ 13 bytes
+/// plus tree overhead.
+constexpr size_t kBytesPerElement = 14;
+
+/// Branching factor b so that a complete b-ary tree with `levels` levels
+/// has about `total` nodes (1 + b + b^2 + ... + b^(levels-1) = total).
+double SolveBranching(int total, int levels) {
+  if (levels <= 1) return 1.0;
+  double lo = 1.0001, hi = static_cast<double>(total);
+  for (int it = 0; it < 64; ++it) {
+    double mid = 0.5 * (lo + hi);
+    double sum = 0, pow = 1;
+    for (int k = 0; k < levels; ++k) {
+      sum += pow;
+      pow *= mid;
+      if (sum > total) break;
+    }
+    (sum > total ? hi : lo) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct Shape {
+  int tag = 1;
+  int depth = 1;
+  std::vector<int> children;
+};
+
+}  // namespace
+
+size_t ApproxSerializedBytes(int node_count) {
+  return static_cast<size_t>(node_count) * kBytesPerElement;
+}
+
+int NodeCountForBytes(size_t bytes) {
+  return static_cast<int>(bytes / kBytesPerElement);
+}
+
+std::unique_ptr<xml::Document> GenerateMember(const MemberParams& params,
+                                              StringInterner* interner) {
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<int> tag_dist(1, params.num_tags);
+
+  // Level-structured tree: level sizes follow a geometric progression so
+  // the document is as wide as its depth bound allows (the shape of the
+  // MemBeR documents: exact depth, uniform tags). Each node's parent is a
+  // uniformly random node of the previous level; the first node of every
+  // level chains to the previous level's first node, guaranteeing a
+  // first-child spine of full depth (Section 5.3's (/t1[1])^k walks it).
+  int depth = std::max(1, params.max_depth);
+  int n = std::max(1, params.node_count);
+  double b = SolveBranching(n, depth);
+  std::vector<int> level_size(static_cast<size_t>(depth));
+  level_size[0] = 1;
+  int used = 1;
+  for (int k = 1; k < depth; ++k) {
+    double ideal = level_size[static_cast<size_t>(k - 1)] * b;
+    int sz = std::max(1, static_cast<int>(std::lround(ideal)));
+    sz = std::min(sz, n - used);
+    level_size[static_cast<size_t>(k)] = sz;
+    used += sz;
+    if (used >= n) {
+      for (int j = k + 1; j < depth; ++j) level_size[static_cast<size_t>(j)] = 0;
+      break;
+    }
+  }
+  // Put any remainder on the last non-empty level.
+  for (int k = depth - 1; k >= 0 && used < n; --k) {
+    if (level_size[static_cast<size_t>(k)] > 0) {
+      level_size[static_cast<size_t>(k)] += n - used;
+      used = n;
+    }
+  }
+
+  std::vector<Shape> nodes(static_cast<size_t>(n));
+  std::vector<std::vector<int>> levels(static_cast<size_t>(depth));
+  int next = 0;
+  for (int k = 0; k < depth; ++k) {
+    for (int i = 0; i < level_size[static_cast<size_t>(k)]; ++i) {
+      int id = next++;
+      nodes[static_cast<size_t>(id)].tag = tag_dist(rng);
+      nodes[static_cast<size_t>(id)].depth = k + 1;
+      levels[static_cast<size_t>(k)].push_back(id);
+      if (k == 0) continue;
+      const std::vector<int>& parents = levels[static_cast<size_t>(k - 1)];
+      int parent;
+      if (i == 0) {
+        parent = parents.front();  // the spine
+      } else {
+        std::uniform_int_distribution<size_t> pick(0, parents.size() - 1);
+        parent = parents[pick(rng)];
+      }
+      nodes[static_cast<size_t>(parent)].children.push_back(id);
+    }
+  }
+
+  // Plant twig instances so the QE workload queries have matches: a chain
+  // t01/t02/t03/t04 and the QE3 shape t01[t02[t03]/t04[t03]], rooted at
+  // random nodes with enough depth budget below them.
+  if (params.plant_twigs > 0 && params.num_tags >= 4 && depth >= 4) {
+    auto first_child = [&](int id) -> int {
+      return nodes[static_cast<size_t>(id)].children.empty()
+                 ? -1
+                 : nodes[static_cast<size_t>(id)].children.front();
+    };
+    auto second_child = [&](int id) -> int {
+      return nodes[static_cast<size_t>(id)].children.size() < 2
+                 ? -1
+                 : nodes[static_cast<size_t>(id)].children[1];
+    };
+    // Candidate roots: nodes whose level leaves 3 more levels below.
+    std::vector<int> candidates;
+    for (int k = 1; k + 3 < depth; ++k) {
+      for (int id : levels[static_cast<size_t>(k)]) candidates.push_back(id);
+    }
+    if (!candidates.empty()) {
+      std::uniform_int_distribution<size_t> pick(0, candidates.size() - 1);
+      for (int p = 0; p < params.plant_twigs; ++p) {
+        int n1 = candidates[pick(rng)];
+        int n2 = first_child(n1);
+        int n3 = n2 < 0 ? -1 : first_child(n2);
+        int n4 = n3 < 0 ? -1 : first_child(n3);
+        if (n2 < 0 || n3 < 0 || n4 < 0) continue;
+        nodes[static_cast<size_t>(n1)].tag = 1;
+        nodes[static_cast<size_t>(n2)].tag = 2;
+        nodes[static_cast<size_t>(n3)].tag = 3;
+        nodes[static_cast<size_t>(n4)].tag = 4;
+        // QE3's second branch: t02 also gets a t04 child with a t03 child
+        // (t01[t02[t03]/t04[t03]]).
+        int m2 = second_child(n2);
+        int m3 = m2 < 0 ? -1 : first_child(m2);
+        if (m2 >= 0 && m3 >= 0) {
+          nodes[static_cast<size_t>(m2)].tag = 4;
+          nodes[static_cast<size_t>(m3)].tag = 3;
+        }
+      }
+    }
+  }
+
+  xml::DocumentBuilder builder(interner);
+  char tag_name[16];
+  // Tag naming follows the paper: "t01".."t100" for the Table 1 documents,
+  // "t1" for the single-tag deep document of Section 5.3.
+  const char* fmt = params.num_tags >= 10 ? "t%02d" : "t%d";
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  auto open = [&](int id) {
+    std::snprintf(tag_name, sizeof(tag_name), fmt,
+                  nodes[static_cast<size_t>(id)].tag);
+    builder.StartElement(tag_name);
+    stack.push_back({id, 0});
+  };
+  open(0);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    Shape& s = nodes[static_cast<size_t>(f.node)];
+    if (f.next_child < s.children.size()) {
+      int child = s.children[f.next_child++];
+      open(child);
+    } else {
+      builder.EndElement();
+      stack.pop_back();
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace xqtp::workload

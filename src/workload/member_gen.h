@@ -1,0 +1,42 @@
+// MemBeR-style synthetic document generator: uniform random trees with a
+// configurable node budget, depth bound and tag alphabet — the documents
+// of the paper's Table 1 (depth 4, 100 uniformly distributed tags, 2.1 to
+// 11 MB) and Section 5.3 (50,000 nodes, depth 15, single tag t1).
+#ifndef XQTP_WORKLOAD_MEMBER_GEN_H_
+#define XQTP_WORKLOAD_MEMBER_GEN_H_
+
+#include <memory>
+
+#include "xml/document.h"
+
+namespace xqtp::workload {
+
+struct MemberParams {
+  /// Total number of element nodes.
+  int node_count = 10000;
+  /// Number of element levels (the root element is level 1); the
+  /// generated tree always reaches this depth.
+  int max_depth = 4;
+  /// Tags t01..tNN, chosen uniformly.
+  int num_tags = 100;
+  /// Number of planted twig instances (chains t01/t02/t03/t04 plus the
+  /// QE3 branch shape) so the paper's QE queries have matches on an
+  /// otherwise uniform document. 0 disables planting.
+  int plant_twigs = 0;
+  uint64_t seed = 42;
+};
+
+/// Approximate serialized size in bytes of a document with `node_count`
+/// elements (used to translate the paper's megabyte sizes into node
+/// budgets).
+size_t ApproxSerializedBytes(int node_count);
+
+/// Node budget for a target serialized size in bytes.
+int NodeCountForBytes(size_t bytes);
+
+std::unique_ptr<xml::Document> GenerateMember(const MemberParams& params,
+                                              StringInterner* interner);
+
+}  // namespace xqtp::workload
+
+#endif  // XQTP_WORKLOAD_MEMBER_GEN_H_

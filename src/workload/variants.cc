@@ -1,0 +1,91 @@
+#include "workload/variants.h"
+
+#include <utility>
+
+namespace xqtp::workload {
+
+namespace {
+
+/// The Figure 4 path, as five segments (the third carries the predicate).
+constexpr const char* kSteps[] = {"site", "people", "person", "profile",
+                                  "interest"};
+constexpr int kNumSegments = 5;
+constexpr int kPersonSegment = 2;
+
+/// Builds one variant. `splits` is a bitmask over gap positions: bit i set
+/// means a new for-binding starts after segment i. `pred_as_where`
+/// replaces the [emailaddress] predicate with a where clause right after
+/// the binding that ends at person (requires bit kPersonSegment set).
+std::string BuildVariant(unsigned splits, bool pred_as_where) {
+  // Group the segments between split points.
+  std::vector<std::pair<int, int>> groups;  // [first, last] segment
+  int start = 0;
+  for (int seg = 0; seg < kNumSegments; ++seg) {
+    bool split_after = (splits & (1u << seg)) != 0 && seg + 1 < kNumSegments;
+    if (split_after || seg + 1 == kNumSegments) {
+      groups.emplace_back(start, seg);
+      start = seg + 1;
+    }
+  }
+
+  auto group_path = [&](const std::string& base, int first, int last) {
+    std::string p = base;
+    for (int seg = first; seg <= last; ++seg) {
+      p += "/";
+      p += kSteps[seg];
+      if (seg == kPersonSegment && !pred_as_where) p += "[emailaddress]";
+    }
+    return p;
+  };
+
+  if (groups.size() == 1) return group_path("$input", 0, kNumSegments - 1);
+
+  std::string out;
+  std::string base = "$input";
+  int var_no = 0;
+  bool in_for_list = false;
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    ++var_no;
+    std::string var = "$x" + std::to_string(var_no);
+    out += in_for_list ? ", " : "for ";
+    in_for_list = true;
+    out += var + " in " + group_path(base, groups[g].first, groups[g].second);
+    base = var;
+    if (pred_as_where && groups[g].second == kPersonSegment) {
+      // Close this FLWOR's clause list with the where; any remaining
+      // bindings go into a nested FLWOR in the return.
+      out += " where " + var + "/emailaddress return ";
+      in_for_list = false;
+    } else if (g + 2 == groups.size()) {
+      out += " return ";
+      in_for_list = false;
+    }
+  }
+  if (in_for_list) out += " return ";
+  out += group_path(base, groups.back().first, groups.back().second);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> GeneratePathVariants(int count) {
+  std::vector<std::string> variants;
+  // Plain path first, then all 15 split combinations, then where-clause
+  // forms for the splits that isolate the person step.
+  variants.push_back(BuildVariant(0, false));
+  for (unsigned splits = 1;
+       splits < 16 && static_cast<int>(variants.size()) < count; ++splits) {
+    variants.push_back(BuildVariant(splits, false));
+  }
+  for (unsigned splits = 1;
+       splits < 16 && static_cast<int>(variants.size()) < count; ++splits) {
+    if ((splits & (1u << kPersonSegment)) == 0) continue;
+    variants.push_back(BuildVariant(splits, true));
+  }
+  if (static_cast<int>(variants.size()) > count) {
+    variants.resize(static_cast<size_t>(count));
+  }
+  return variants;
+}
+
+}  // namespace xqtp::workload

@@ -1,0 +1,20 @@
+// The syntactic-variant generator of Section 5.1: produces semantically
+// equivalent FLWOR rewritings of the path
+//   $input/site/people/person[emailaddress]/profile/interest
+// by replacing / operators with for clauses and (optionally) the predicate
+// with a where clause.
+#ifndef XQTP_WORKLOAD_VARIANTS_H_
+#define XQTP_WORKLOAD_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+namespace xqtp::workload {
+
+/// Generates up to `count` distinct equivalent variants of the Figure 4
+/// path expression. The first variant is the plain path itself.
+std::vector<std::string> GeneratePathVariants(int count = 20);
+
+}  // namespace xqtp::workload
+
+#endif  // XQTP_WORKLOAD_VARIANTS_H_

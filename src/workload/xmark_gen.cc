@@ -1,0 +1,241 @@
+#include "workload/xmark_gen.h"
+
+#include <random>
+#include <string>
+
+namespace xqtp::workload {
+
+namespace {
+
+constexpr const char* kRegions[] = {"africa",  "asia",   "australia",
+                                    "europe",  "namerica", "samerica"};
+constexpr const char* kInterests[] = {"sports", "music",  "travel", "books",
+                                      "movies", "art",    "food",   "tech"};
+constexpr const char* kCities[] = {"Antwerp", "Yorktown", "Paris", "Tokyo",
+                                   "Nairobi", "Sydney"};
+
+class Generator {
+ public:
+  Generator(const XmarkParams& params, StringInterner* interner)
+      : rng_(params.seed), builder_(interner) {
+    persons_ = std::max(10, static_cast<int>(25500 * params.factor / 10));
+    items_ = std::max(12, static_cast<int>(persons_ * 4 / 5));
+    open_auctions_ = std::max(6, persons_ / 2);
+    closed_auctions_ = std::max(4, persons_ / 3);
+    categories_ = std::max(4, persons_ / 25);
+  }
+
+  std::unique_ptr<xml::Document> Run() {
+    builder_.StartElement("site");
+    EmitRegions();
+    EmitCategories();
+    EmitPeople();
+    EmitOpenAuctions();
+    EmitClosedAuctions();
+    builder_.EndElement();
+    return builder_.Finish();
+  }
+
+ private:
+  int Rand(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(rng_);
+  }
+  bool Chance(double p) {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(rng_) < p;
+  }
+
+  void Leaf(const char* tag, const std::string& text) {
+    builder_.StartElement(tag);
+    builder_.Text(text);
+    builder_.EndElement();
+  }
+
+  void EmitRegions() {
+    builder_.StartElement("regions");
+    int per_region = std::max(2, items_ / 6);
+    int item_id = 0;
+    for (const char* region : kRegions) {
+      builder_.StartElement(region);
+      for (int i = 0; i < per_region; ++i) {
+        builder_.StartElement("item");
+        builder_.Attribute("id", "item" + std::to_string(item_id++));
+        Leaf("location", kCities[Rand(0, 5)]);
+        Leaf("name", "item name " + std::to_string(item_id));
+        builder_.StartElement("description");
+        builder_.StartElement("text");
+        builder_.Text("a fine piece of merchandise, number " +
+                      std::to_string(item_id));
+        builder_.EndElement();
+        builder_.EndElement();
+        Leaf("quantity", std::to_string(Rand(1, 5)));
+        if (Chance(0.6)) Leaf("payment", "Creditcard");
+        if (Chance(0.4)) {
+          builder_.StartElement("mailbox");
+          int mails = Rand(0, 3);
+          for (int m = 0; m < mails; ++m) {
+            builder_.StartElement("mail");
+            Leaf("from", "person" + std::to_string(Rand(0, persons_ - 1)));
+            Leaf("date", "07/0" + std::to_string(Rand(1, 9)) + "/2006");
+            builder_.EndElement();
+          }
+          builder_.EndElement();
+        }
+        builder_.EndElement();
+      }
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void EmitCategories() {
+    builder_.StartElement("categories");
+    for (int c = 0; c < categories_; ++c) {
+      builder_.StartElement("category");
+      builder_.Attribute("id", "category" + std::to_string(c));
+      Leaf("name", "category name " + std::to_string(c));
+      builder_.StartElement("description");
+      builder_.StartElement("text");
+      builder_.Text("all sorts of things in category " + std::to_string(c));
+      builder_.EndElement();
+      builder_.EndElement();
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void EmitPeople() {
+    builder_.StartElement("people");
+    for (int p = 0; p < persons_; ++p) {
+      builder_.StartElement("person");
+      builder_.Attribute("id", "person" + std::to_string(p));
+      Leaf("name", "Person Name " + std::to_string(p));
+      // The paper's running example filters on emailaddress presence:
+      // keep a realistic fraction without one.
+      if (Chance(0.8)) {
+        Leaf("emailaddress", "mailto:person" + std::to_string(p) +
+                                 "@example.com");
+      }
+      if (Chance(0.3)) Leaf("phone", "+32 3 " + std::to_string(Rand(100000, 999999)));
+      if (Chance(0.5)) {
+        builder_.StartElement("address");
+        Leaf("street", std::to_string(Rand(1, 99)) + " Main St");
+        Leaf("city", kCities[Rand(0, 5)]);
+        Leaf("country", "Belgium");
+        Leaf("zipcode", std::to_string(Rand(1000, 9999)));
+        builder_.EndElement();
+      }
+      if (Chance(0.25)) {
+        Leaf("homepage", "http://example.com/~person" + std::to_string(p));
+      }
+      if (Chance(0.35)) Leaf("creditcard", "1234 5678 9012 3456");
+      if (Chance(0.75)) {
+        builder_.StartElement("profile");
+        builder_.Attribute("income", std::to_string(Rand(10000, 99999)));
+        int interests = Rand(0, 4);
+        for (int i = 0; i < interests; ++i) {
+          builder_.StartElement("interest");
+          builder_.Attribute("category",
+                             kInterests[Rand(0, 7)]);
+          builder_.EndElement();
+        }
+        if (Chance(0.5)) Leaf("education", "Graduate School");
+        Leaf("business", Chance(0.5) ? "Yes" : "No");
+        if (Chance(0.6)) Leaf("age", std::to_string(Rand(18, 80)));
+        builder_.EndElement();
+      }
+      builder_.StartElement("watches");
+      int watches = Rand(0, 2);
+      for (int w = 0; w < watches; ++w) {
+        builder_.StartElement("watch");
+        builder_.Attribute("open_auction",
+                           "open_auction" +
+                               std::to_string(Rand(0, open_auctions_ - 1)));
+        builder_.EndElement();
+      }
+      builder_.EndElement();
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void EmitOpenAuctions() {
+    builder_.StartElement("open_auctions");
+    for (int a = 0; a < open_auctions_; ++a) {
+      builder_.StartElement("open_auction");
+      builder_.Attribute("id", "open_auction" + std::to_string(a));
+      Leaf("initial", std::to_string(Rand(1, 200)));
+      if (Chance(0.4)) Leaf("reserve", std::to_string(Rand(50, 400)));
+      int bidders = Rand(0, 5);
+      for (int b = 0; b < bidders; ++b) {
+        builder_.StartElement("bidder");
+        Leaf("date", "07/0" + std::to_string(Rand(1, 9)) + "/2006");
+        builder_.StartElement("personref");
+        builder_.Attribute("person",
+                           "person" + std::to_string(Rand(0, persons_ - 1)));
+        builder_.EndElement();
+        Leaf("increase", std::to_string(Rand(1, 25)));
+        builder_.EndElement();
+      }
+      Leaf("current", std::to_string(Rand(1, 600)));
+      builder_.StartElement("itemref");
+      builder_.Attribute("item", "item" + std::to_string(Rand(0, items_ - 1)));
+      builder_.EndElement();
+      builder_.StartElement("seller");
+      builder_.Attribute("person",
+                         "person" + std::to_string(Rand(0, persons_ - 1)));
+      builder_.EndElement();
+      Leaf("quantity", std::to_string(Rand(1, 3)));
+      Leaf("type", Chance(0.5) ? "Regular" : "Featured");
+      builder_.StartElement("interval");
+      Leaf("start", "07/01/2006");
+      Leaf("end", "08/01/2006");
+      builder_.EndElement();
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void EmitClosedAuctions() {
+    builder_.StartElement("closed_auctions");
+    for (int a = 0; a < closed_auctions_; ++a) {
+      builder_.StartElement("closed_auction");
+      builder_.StartElement("seller");
+      builder_.Attribute("person",
+                         "person" + std::to_string(Rand(0, persons_ - 1)));
+      builder_.EndElement();
+      builder_.StartElement("buyer");
+      builder_.Attribute("person",
+                         "person" + std::to_string(Rand(0, persons_ - 1)));
+      builder_.EndElement();
+      builder_.StartElement("itemref");
+      builder_.Attribute("item", "item" + std::to_string(Rand(0, items_ - 1)));
+      builder_.EndElement();
+      Leaf("price", std::to_string(Rand(1, 600)));
+      Leaf("date", "07/0" + std::to_string(Rand(1, 9)) + "/2006");
+      Leaf("quantity", std::to_string(Rand(1, 3)));
+      Leaf("type", Chance(0.5) ? "Regular" : "Featured");
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  std::mt19937_64 rng_;
+  xml::DocumentBuilder builder_;
+  int persons_;
+  int items_;
+  int open_auctions_;
+  int closed_auctions_;
+  int categories_;
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateXmark(const XmarkParams& params,
+                                             StringInterner* interner) {
+  Generator g(params, interner);
+  return g.Run();
+}
+
+}  // namespace xqtp::workload

@@ -1,0 +1,27 @@
+// XMark-style auction-site document generator. Reproduces the element
+// hierarchy and fan-out of the XMark benchmark documents (site / regions /
+// people / open_auctions / closed_auctions / categories) at a configurable
+// scale factor — the substrate for the paper's Figure 4 and Figure 6
+// experiments.
+#ifndef XQTP_WORKLOAD_XMARK_GEN_H_
+#define XQTP_WORKLOAD_XMARK_GEN_H_
+
+#include <memory>
+
+#include "xml/document.h"
+
+namespace xqtp::workload {
+
+struct XmarkParams {
+  /// Scale factor; 1.0 gives ~2550 persons, ~2 x that many items, etc.
+  /// (proportions follow XMark).
+  double factor = 0.1;
+  uint64_t seed = 7;
+};
+
+std::unique_ptr<xml::Document> GenerateXmark(const XmarkParams& params,
+                                             StringInterner* interner);
+
+}  // namespace xqtp::workload
+
+#endif  // XQTP_WORKLOAD_XMARK_GEN_H_

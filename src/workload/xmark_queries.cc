@@ -1,0 +1,48 @@
+#include "workload/xmark_queries.h"
+
+namespace xqtp::workload {
+
+const std::vector<XmarkQuery>& XmarkQueryCorpus() {
+  static const std::vector<XmarkQuery>* corpus = new std::vector<XmarkQuery>{
+      {"XQ1", "name of the person with a given id (here: by position)",
+       "$input/site/people/person[1]/name"},
+      {"XQ2", "initial increases of all open auctions",
+       "for $b in $input/site/open_auctions/open_auction "
+       "return $b/bidder[1]/increase"},
+      {"XQ3",
+       "auctions whose current price is at least twice the initial price",
+       "for $a in $input/site/open_auctions/open_auction "
+       "where $a/current > $a/initial + $a/initial return $a/current"},
+      {"XQ4", "auctions that have at least one bidder",
+       "fn:count($input//open_auction[bidder])"},
+      {"XQ5", "closed auctions with a price of at least 40",
+       "fn:count($input/site/closed_auctions/closed_auction"
+       "[price >= 40])"},
+      {"XQ6", "items listed in all regions",
+       "fn:count($input/site/regions/*/item)"},
+      {"XQ7", "pieces of promotional data (mails) in the site",
+       "fn:count($input/site/regions/*/item/mailbox/mail)"},
+      {"XQ8", "people with an email address and at least one interest",
+       "fn:count($input/site/people/person[emailaddress]"
+       "[profile/interest])"},
+      {"XQ13", "names of items in a region, with their descriptions",
+       "$input/site/regions/*/item/name"},
+      {"XQ14", "names of items whose description mentions a keyword",
+       "for $i in $input/site/regions/*/item "
+       "where fn:contains($i/description, \"merchandise\") "
+       "return $i/name"},
+      {"XQ15", "deeply nested data: bidder dates of open auctions",
+       "$input/site/open_auctions/open_auction/bidder/date"},
+      {"XQ17", "people without a homepage",
+       "fn:count(for $p in $input/site/people/person "
+       "where fn:empty($p/homepage) return $p)"},
+      {"XQ19", "names of items, via the descendant axis",
+       "$input//item//name"},
+      {"XQ20", "grouping: count of persons by income presence",
+       "(fn:count($input//person[profile/@income]), "
+       "fn:count($input//person[fn:empty(profile/@income)]))"},
+  };
+  return *corpus;
+}
+
+}  // namespace xqtp::workload

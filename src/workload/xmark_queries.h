@@ -1,0 +1,24 @@
+// The XMark benchmark queries, adapted to the supported XQuery fragment
+// (no element construction, no joins on values across variables beyond
+// general comparisons). Used by tests and examples as a realistic query
+// corpus over the xmark_gen documents.
+#ifndef XQTP_WORKLOAD_XMARK_QUERIES_H_
+#define XQTP_WORKLOAD_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace xqtp::workload {
+
+struct XmarkQuery {
+  std::string id;           ///< e.g. "XQ1"
+  std::string description;  ///< what the original XMark query asks
+  std::string text;         ///< the adapted query
+};
+
+/// The adapted corpus, in a stable order.
+const std::vector<XmarkQuery>& XmarkQueryCorpus();
+
+}  // namespace xqtp::workload
+
+#endif  // XQTP_WORKLOAD_XMARK_QUERIES_H_

@@ -1,0 +1,69 @@
+// XPath axes and node tests, shared by every pipeline stage (surface AST,
+// core AST, tree patterns, algebra, evaluators).
+#ifndef XQTP_XDM_AXIS_H_
+#define XQTP_XDM_AXIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/interner.h"
+
+namespace xqtp {
+
+/// The axes in the supported XPath fragment. Tree patterns only ever use
+/// the downward axes (child / descendant / descendant-or-self / attribute /
+/// self); the upward and sideways axes are supported navigationally but
+/// are never part of a pattern.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kAttribute,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+/// True for axes that may appear inside a TreePattern.
+bool AxisAllowedInPattern(Axis axis);
+
+/// Axis name as written in XPath ("child", "descendant-or-self", ...).
+const char* AxisName(Axis axis);
+
+/// Kinds of node tests in the fragment.
+enum class NodeTestKind : uint8_t {
+  kName,      ///< element (or attribute, on the attribute axis) name test
+  kAnyName,   ///< "*"
+  kAnyNode,   ///< "node()"
+  kText,      ///< "text()"
+};
+
+/// A node test: kind plus the interned name for kName.
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kAnyNode;
+  Symbol name = kInvalidSymbol;
+
+  static NodeTest Name(Symbol s) { return {NodeTestKind::kName, s}; }
+  static NodeTest AnyName() { return {NodeTestKind::kAnyName, kInvalidSymbol}; }
+  static NodeTest AnyNode() { return {NodeTestKind::kAnyNode, kInvalidSymbol}; }
+  static NodeTest Text() { return {NodeTestKind::kText, kInvalidSymbol}; }
+
+  bool operator==(const NodeTest& other) const {
+    return kind == other.kind && name == other.name;
+  }
+
+  /// Rendering as written in XPath, e.g. "person", "*", "node()".
+  std::string ToString(const StringInterner& interner) const;
+};
+
+/// "axis::test" rendering, abbreviating nothing (tests compare against the
+/// explicit form the paper prints, e.g. "descendant::person").
+std::string StepToString(Axis axis, const NodeTest& test,
+                         const StringInterner& interner);
+
+}  // namespace xqtp
+
+#endif  // XQTP_XDM_AXIS_H_

@@ -1,0 +1,33 @@
+#include "xdm/item.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xqtp::xdm {
+
+namespace {
+
+std::string FormatDouble(double d) {
+  // Integral doubles print without a decimal point, like XQuery's
+  // xs:decimal rendering of whole numbers.
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string Item::StringValue() const {
+  if (IsNode()) return node()->StringValue();
+  if (IsInteger()) return std::to_string(integer());
+  if (IsDouble()) return FormatDouble(dbl());
+  if (IsBoolean()) return boolean() ? "true" : "false";
+  return str();
+}
+
+}  // namespace xqtp::xdm

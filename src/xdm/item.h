@@ -1,0 +1,59 @@
+// XDM items and sequences. An item is a node reference or an atomic value
+// (integer, double, boolean, string); a sequence is a flat, ordered list of
+// items — the result type of every XQuery expression.
+#ifndef XQTP_XDM_ITEM_H_
+#define XQTP_XDM_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace xqtp::xdm {
+
+/// A single XDM item.
+class Item {
+ public:
+  Item() : value_(false) {}
+  explicit Item(const xml::Node* node) : value_(node) {}
+  explicit Item(int64_t i) : value_(i) {}
+  explicit Item(double d) : value_(d) {}
+  explicit Item(bool b) : value_(b) {}
+  explicit Item(std::string s) : value_(std::move(s)) {}
+
+  bool IsNode() const {
+    return std::holds_alternative<const xml::Node*>(value_);
+  }
+  bool IsInteger() const { return std::holds_alternative<int64_t>(value_); }
+  bool IsDouble() const { return std::holds_alternative<double>(value_); }
+  bool IsNumeric() const { return IsInteger() || IsDouble(); }
+  bool IsBoolean() const { return std::holds_alternative<bool>(value_); }
+  bool IsString() const { return std::holds_alternative<std::string>(value_); }
+
+  const xml::Node* node() const { return std::get<const xml::Node*>(value_); }
+  int64_t integer() const { return std::get<int64_t>(value_); }
+  double dbl() const { return std::get<double>(value_); }
+  bool boolean() const { return std::get<bool>(value_); }
+  const std::string& str() const { return std::get<std::string>(value_); }
+
+  /// Numeric value with integer promotion; requires IsNumeric().
+  double AsDouble() const { return IsInteger() ? static_cast<double>(integer()) : dbl(); }
+
+  /// The typed-value string of the item (node string-value for nodes).
+  std::string StringValue() const;
+
+  /// Structural equality (node identity for nodes, value for atomics;
+  /// no numeric promotion). Used by tests.
+  bool operator==(const Item& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<const xml::Node*, int64_t, double, bool, std::string> value_;
+};
+
+using Sequence = std::vector<Item>;
+
+}  // namespace xqtp::xdm
+
+#endif  // XQTP_XDM_ITEM_H_

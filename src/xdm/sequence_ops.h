@@ -1,0 +1,75 @@
+// Operations over XDM sequences: distinct-doc-order (the `ddo` of the
+// paper), effective boolean value, general comparisons, and navigational
+// axis-step evaluation.
+#ifndef XQTP_XDM_SEQUENCE_OPS_H_
+#define XQTP_XDM_SEQUENCE_OPS_H_
+
+#include "common/status.h"
+#include "xdm/axis.h"
+#include "xdm/item.h"
+
+namespace xqtp::xdm {
+
+/// fs:distinct-doc-order: sorts node sequences by document order and
+/// removes duplicate nodes (by identity). Errors if the sequence mixes
+/// nodes and atomic values (ddo is only defined on node sequences); a pure
+/// atomic sequence is returned unchanged only if empty.
+Result<Sequence> DistinctDocOrder(Sequence seq);
+
+/// True iff `seq` is already sorted in document order with no duplicate
+/// nodes. Used by tests and by assertions in the evaluators.
+bool IsDistinctDocOrdered(const Sequence& seq);
+
+/// fn:boolean — the effective boolean value.
+/// Rules (XPath 2.0 fragment): empty -> false; first item a node -> true;
+/// singleton boolean/number/string -> the usual EBV; anything else -> error.
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+/// Comparison operators for general comparisons.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// Arithmetic operators.
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+
+const char* ArithOpName(ArithOp op);
+
+/// Binary arithmetic per XQuery: operands are atomized (nodes contribute
+/// the numeric value of their string-value) and must be singletons; an
+/// empty operand yields the empty sequence; idiv yields an integer.
+Result<Sequence> EvalArith(ArithOp op, const Sequence& lhs,
+                           const Sequence& rhs);
+
+/// Atomized string value of an at-most-one-item sequence ("" if empty).
+Result<std::string> StringArg(const Sequence& seq);
+
+/// Numeric value of an item (nodes/strings parse their text; NaN if the
+/// text is not a number).
+double NumericValue(const Item& item);
+
+/// General comparison: existential over the atomized operands, with
+/// untyped values coerced to the type of the other operand (numeric if the
+/// other side is numeric, string otherwise).
+Result<bool> GeneralCompare(CompareOp op, const Sequence& lhs,
+                            const Sequence& rhs);
+
+/// True iff `node` satisfies `test` when reached over `axis` (the axis
+/// determines the principal node kind: attribute tests match attribute
+/// nodes only on the attribute axis).
+bool MatchesTest(const xml::Node* node, Axis axis, const NodeTest& test);
+
+/// Navigational evaluation of one axis step from a single context node,
+/// appending matches in document order to `out`. This is the cursor-based
+/// primitive used by TreeJoin / the nested-loop pattern algorithm.
+void EvalAxisStep(const xml::Node* context, Axis axis, const NodeTest& test,
+                  Sequence* out);
+
+/// fn:count.
+inline int64_t Count(const Sequence& seq) {
+  return static_cast<int64_t>(seq.size());
+}
+
+}  // namespace xqtp::xdm
+
+#endif  // XQTP_XDM_SEQUENCE_OPS_H_

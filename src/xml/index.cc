@@ -1,0 +1,18 @@
+#include "xml/index.h"
+
+#include <algorithm>
+
+namespace xqtp::xml {
+
+TagStream::TagStream(const Document& doc, Symbol tag)
+    : nodes_(tag == kInvalidSymbol ? &doc.AllElements()
+                                   : &doc.ElementsByTag(tag)) {}
+
+void TagStream::SkipToPreAfter(int32_t pre) {
+  auto it = std::upper_bound(
+      nodes_->begin() + static_cast<ptrdiff_t>(pos_), nodes_->end(), pre,
+      [](int32_t value, const Node* n) { return value < n->pre; });
+  pos_ = static_cast<size_t>(it - nodes_->begin());
+}
+
+}  // namespace xqtp::xml

@@ -1,0 +1,48 @@
+// Index access helpers shared by the Staircase and Twig joins: document-
+// ordered tag streams with binary-searched region skipping.
+#ifndef XQTP_XML_INDEX_H_
+#define XQTP_XML_INDEX_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xml/node.h"
+
+namespace xqtp::xml {
+
+/// A cursor over a per-tag stream (document-ordered vector of nodes) with
+/// the skip operations the index-based joins rely on.
+class TagStream {
+ public:
+  /// Stream of elements with tag `tag`; pass kInvalidSymbol for all
+  /// elements (the node() stream).
+  TagStream(const Document& doc, Symbol tag);
+
+  bool AtEnd() const { return pos_ >= nodes_->size(); }
+  const Node* Head() const { return (*nodes_)[pos_]; }
+  void Advance() { ++pos_; }
+
+  /// Positions the cursor on the first node with pre > `pre`.
+  /// O(log n) binary search; this is the "skip" primitive of Staircase join.
+  void SkipToPreAfter(int32_t pre);
+
+  /// Positions the cursor on the first node inside the subtree of `anc`
+  /// (i.e. the first descendant of `anc` in the stream), or past all of
+  /// them if there are none before the region ends.
+  void SkipIntoSubtree(const Node* anc) { SkipToPreAfter(anc->pre); }
+
+  size_t size() const { return nodes_->size(); }
+  void Reset() { pos_ = 0; }
+
+  /// Number of nodes this stream touched since construction/Reset; used by
+  /// the benchmark harness to report index work.
+  size_t position() const { return pos_; }
+
+ private:
+  const std::vector<const Node*>* nodes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xqtp::xml
+
+#endif  // XQTP_XML_INDEX_H_

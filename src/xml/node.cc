@@ -1,0 +1,36 @@
+#include "xml/node.h"
+
+#include "xml/document.h"
+
+namespace xqtp::xml {
+
+namespace {
+
+void CollectText(const Node* n, std::string* out) {
+  if (n->IsText()) {
+    out->append(n->text);
+    return;
+  }
+  if (n->IsAttribute()) {
+    out->append(n->text);
+    return;
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    CollectText(c, out);
+  }
+}
+
+}  // namespace
+
+std::string Node::StringValue() const {
+  std::string out;
+  CollectText(this, &out);
+  return out;
+}
+
+bool DocOrderLess(const Node* a, const Node* b) {
+  if (a->doc != b->doc) return a->doc->id() < b->doc->id();
+  return a->pre < b->pre;
+}
+
+}  // namespace xqtp::xml

@@ -1,0 +1,279 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace xqtp::xml {
+
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool StartsWith(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void Skip(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  /// Advances past the first occurrence of `s`; false if not found.
+  bool SkipPast(std::string_view s) {
+    size_t found = input_.find(s, pos_);
+    if (found == std::string_view::npos) return false;
+    while (pos_ < found + s.size()) Advance();
+    return true;
+  }
+  int line() const { return line_; }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, StringInterner* interner)
+      : cur_(input), builder_(interner) {}
+
+  Result<std::unique_ptr<Document>> Run() {
+    XQTP_RETURN_NOT_OK(ParseProlog());
+    XQTP_RETURN_NOT_OK(ParseElement());
+    SkipMisc();
+    if (!cur_.AtEnd()) return Err("trailing content after root element");
+    return builder_.Finish();
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument("XML parse error at line " +
+                                   std::to_string(cur_.line()) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (!cur_.AtEnd() &&
+           std::isspace(static_cast<unsigned char>(cur_.Peek()))) {
+      cur_.Advance();
+    }
+  }
+
+  /// Skips whitespace, comments, and PIs between top-level constructs.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (cur_.StartsWith("<!--")) {
+        cur_.SkipPast("-->");
+      } else if (cur_.StartsWith("<?")) {
+        cur_.SkipPast("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ParseProlog() {
+    SkipMisc();
+    if (cur_.StartsWith("<!DOCTYPE")) {
+      if (!cur_.SkipPast(">")) return Err("unterminated DOCTYPE");
+      SkipMisc();
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseName() {
+    if (cur_.AtEnd() || !IsNameStart(cur_.Peek())) {
+      return Err("expected a name");
+    }
+    std::string name;
+    while (!cur_.AtEnd() && IsNameChar(cur_.Peek())) {
+      name.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    return name;
+  }
+
+  /// Decodes one entity reference positioned on '&'.
+  Status AppendEntity(std::string* out) {
+    // Supported: lt gt amp quot apos and numeric references.
+    cur_.Advance();  // '&'
+    std::string ent;
+    while (!cur_.AtEnd() && cur_.Peek() != ';') {
+      ent.push_back(cur_.Peek());
+      cur_.Advance();
+    }
+    if (cur_.AtEnd()) return Err("unterminated entity reference");
+    cur_.Advance();  // ';'
+    if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      int code = 0;
+      if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::stoi(ent.substr(2), nullptr, 16);
+      } else {
+        code = std::stoi(ent.substr(1));
+      }
+      if (code < 0x80) {
+        out->push_back(static_cast<char>(code));
+      } else {
+        // Minimal UTF-8 encoding for BMP code points.
+        if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        }
+        out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Err("unknown entity &" + ent + ";");
+    }
+    return Status::OK();
+  }
+
+  Status ParseAttributes() {
+    for (;;) {
+      SkipWhitespace();
+      if (cur_.AtEnd()) return Err("unterminated start tag");
+      char c = cur_.Peek();
+      if (c == '>' || c == '/') return Status::OK();
+      XQTP_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWhitespace();
+      if (cur_.AtEnd() || cur_.Peek() != '=') return Err("expected '='");
+      cur_.Advance();
+      SkipWhitespace();
+      if (cur_.AtEnd() || (cur_.Peek() != '"' && cur_.Peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = cur_.Peek();
+      cur_.Advance();
+      std::string value;
+      while (!cur_.AtEnd() && cur_.Peek() != quote) {
+        if (cur_.Peek() == '&') {
+          XQTP_RETURN_NOT_OK(AppendEntity(&value));
+        } else {
+          value.push_back(cur_.Peek());
+          cur_.Advance();
+        }
+      }
+      if (cur_.AtEnd()) return Err("unterminated attribute value");
+      cur_.Advance();  // closing quote
+      builder_.Attribute(name, value);
+    }
+  }
+
+  Status ParseContent() {
+    std::string text;
+    auto flush = [&] {
+      if (!text.empty()) {
+        builder_.Text(text);
+        text.clear();
+      }
+    };
+    for (;;) {
+      if (cur_.AtEnd()) return Err("unterminated element content");
+      char c = cur_.Peek();
+      if (c == '<') {
+        if (cur_.StartsWith("</")) {
+          flush();
+          return Status::OK();
+        }
+        if (cur_.StartsWith("<!--")) {
+          flush();
+          if (!cur_.SkipPast("-->")) return Err("unterminated comment");
+          continue;
+        }
+        if (cur_.StartsWith("<![CDATA[")) {
+          cur_.Skip(9);
+          while (!cur_.AtEnd() && !cur_.StartsWith("]]>")) {
+            text.push_back(cur_.Peek());
+            cur_.Advance();
+          }
+          if (cur_.AtEnd()) return Err("unterminated CDATA section");
+          cur_.Skip(3);
+          continue;
+        }
+        if (cur_.StartsWith("<?")) {
+          flush();
+          if (!cur_.SkipPast("?>")) return Err("unterminated PI");
+          continue;
+        }
+        flush();
+        XQTP_RETURN_NOT_OK(ParseElement());
+      } else if (c == '&') {
+        XQTP_RETURN_NOT_OK(AppendEntity(&text));
+      } else {
+        text.push_back(c);
+        cur_.Advance();
+      }
+    }
+  }
+
+  Status ParseElement() {
+    if (cur_.AtEnd() || cur_.Peek() != '<') return Err("expected '<'");
+    cur_.Advance();
+    XQTP_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    builder_.StartElement(tag);
+    XQTP_RETURN_NOT_OK(ParseAttributes());
+    if (cur_.Peek() == '/') {
+      cur_.Advance();
+      if (cur_.AtEnd() || cur_.Peek() != '>') return Err("expected '/>'");
+      cur_.Advance();
+      builder_.EndElement();
+      return Status::OK();
+    }
+    cur_.Advance();  // '>'
+    XQTP_RETURN_NOT_OK(ParseContent());
+    // Positioned on "</".
+    cur_.Skip(2);
+    XQTP_ASSIGN_OR_RETURN(std::string close, ParseName());
+    if (close != tag) {
+      return Err("mismatched end tag </" + close + ">, expected </" + tag +
+                 ">");
+    }
+    SkipWhitespace();
+    if (cur_.AtEnd() || cur_.Peek() != '>') return Err("expected '>'");
+    cur_.Advance();
+    builder_.EndElement();
+    return Status::OK();
+  }
+
+  Cursor cur_;
+  DocumentBuilder builder_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        StringInterner* interner) {
+  Parser p(input, interner);
+  return p.Run();
+}
+
+}  // namespace xqtp::xml

@@ -1,0 +1,158 @@
+#include "xquery/ast.h"
+
+namespace xqtp::xquery {
+
+namespace {
+
+void Print(const Expr& e, const StringInterner& in, std::string* out);
+
+void PrintPredicates(const std::vector<ExprPtr>& preds,
+                     const StringInterner& in, std::string* out) {
+  for (const ExprPtr& p : preds) {
+    *out += '[';
+    Print(*p, in, out);
+    *out += ']';
+  }
+}
+
+void Print(const Expr& e, const StringInterner& in, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      *out += '$';
+      *out += e.var_name;
+      break;
+    case ExprKind::kLiteral:
+      if (e.literal.IsString()) {
+        *out += '"';
+        *out += e.literal.str();
+        *out += '"';
+      } else {
+        *out += e.literal.StringValue();
+      }
+      break;
+    case ExprKind::kContextItem:
+      *out += '.';
+      break;
+    case ExprKind::kRoot:
+      *out += "fn:root(.)";
+      break;
+    case ExprKind::kPath:
+      Print(*e.child0, in, out);
+      *out += e.double_slash ? "//" : "/";
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kStep:
+      *out += StepToString(e.axis, e.test, in);
+      PrintPredicates(e.predicates, in, out);
+      break;
+    case ExprKind::kFilter:
+      *out += '(';
+      Print(*e.child0, in, out);
+      *out += ')';
+      PrintPredicates(e.predicates, in, out);
+      break;
+    case ExprKind::kFlwor:
+      for (const FlworClause& c : e.clauses) {
+        switch (c.kind) {
+          case FlworClause::Kind::kFor:
+            *out += "for $" + c.var;
+            if (!c.pos_var.empty()) *out += " at $" + c.pos_var;
+            *out += " in ";
+            Print(*c.expr, in, out);
+            *out += ' ';
+            break;
+          case FlworClause::Kind::kLet:
+            *out += "let $" + c.var + " := ";
+            Print(*c.expr, in, out);
+            *out += ' ';
+            break;
+          case FlworClause::Kind::kWhere:
+            *out += "where ";
+            Print(*c.expr, in, out);
+            *out += ' ';
+            break;
+        }
+      }
+      *out += "return ";
+      Print(*e.ret, in, out);
+      break;
+    case ExprKind::kFnCall: {
+      *out += e.fn_name;
+      *out += '(';
+      bool first = true;
+      for (const ExprPtr& a : e.args) {
+        if (!first) *out += ", ";
+        first = false;
+        Print(*a, in, out);
+      }
+      *out += ')';
+      break;
+    }
+    case ExprKind::kCompare:
+      Print(*e.child0, in, out);
+      *out += ' ';
+      *out += xdm::CompareOpName(e.cmp_op);
+      *out += ' ';
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kArith:
+      Print(*e.child0, in, out);
+      *out += ' ';
+      *out += xdm::ArithOpName(e.arith_op);
+      *out += ' ';
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kUnion:
+      Print(*e.child0, in, out);
+      *out += " | ";
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kIfExpr:
+      *out += "if (";
+      Print(*e.child0, in, out);
+      *out += ") then ";
+      Print(*e.child1, in, out);
+      *out += " else ";
+      Print(*e.ret, in, out);
+      break;
+    case ExprKind::kQuantified:
+      *out += e.is_every ? "every $" : "some $";
+      *out += e.var_name;
+      *out += " in ";
+      Print(*e.child0, in, out);
+      *out += " satisfies ";
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kAnd:
+      Print(*e.child0, in, out);
+      *out += " and ";
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kOr:
+      Print(*e.child0, in, out);
+      *out += " or ";
+      Print(*e.child1, in, out);
+      break;
+    case ExprKind::kSequence: {
+      *out += '(';
+      bool first = true;
+      for (const ExprPtr& i : e.items) {
+        if (!first) *out += ", ";
+        first = false;
+        Print(*i, in, out);
+      }
+      *out += ')';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Expr& e, const StringInterner& interner) {
+  std::string out;
+  Print(e, interner, &out);
+  return out;
+}
+
+}  // namespace xqtp::xquery

@@ -1,0 +1,104 @@
+// Surface-syntax AST for the supported XQuery fragment:
+// FLWOR (for/at/let/where/return), path expressions with predicates,
+// general comparisons, and/or, function calls, literals, sequences.
+#ifndef XQTP_XQUERY_AST_H_
+#define XQTP_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xdm/axis.h"
+#include "xdm/item.h"
+#include "xdm/sequence_ops.h"
+
+namespace xqtp::xquery {
+
+enum class ExprKind : uint8_t {
+  kVarRef,
+  kLiteral,
+  kContextItem,  ///< "."
+  kRoot,         ///< leading "/" — the document node of the context item
+  kPath,         ///< E1/E2 or E1//E2
+  kStep,         ///< axis::test[preds]* relative to the context item
+  kFilter,       ///< E[preds]* where E is not a step
+  kFlwor,
+  kFnCall,
+  kCompare,
+  kArith,        ///< child0 op child1
+  kUnion,        ///< child0 | child1
+  kIfExpr,       ///< if (child0) then child1 else ret
+  kQuantified,   ///< some/every $var in child0 satisfies child1
+  kAnd,
+  kOr,
+  kSequence,     ///< comma expression; empty vector is "()"
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One FLWOR clause.
+struct FlworClause {
+  enum class Kind : uint8_t { kFor, kLet, kWhere } kind;
+  std::string var;      ///< for/let variable name (no '$')
+  std::string pos_var;  ///< "at $pos" variable; empty if absent
+  ExprPtr expr;         ///< binding sequence / where condition
+};
+
+/// A surface expression node. One struct for all kinds; the active fields
+/// are determined by `kind` (documented per kind below).
+struct Expr {
+  ExprKind kind;
+
+  // kVarRef
+  std::string var_name;
+
+  // kLiteral
+  xdm::Item literal;
+
+  // kPath: child0 / child1; `double_slash` distinguishes E1//E2.
+  // kFilter: child0 = the filtered expression.
+  // kCompare / kAnd / kOr: child0, child1.
+  ExprPtr child0;
+  ExprPtr child1;
+  bool double_slash = false;
+
+  // kStep
+  Axis axis = Axis::kChild;
+  NodeTest test;
+
+  // kStep / kFilter
+  std::vector<ExprPtr> predicates;
+
+  // kFlwor
+  std::vector<FlworClause> clauses;
+  ExprPtr ret;
+
+  // kFnCall (name keeps the written prefix, e.g. "fn:count" or "count")
+  std::string fn_name;
+  std::vector<ExprPtr> args;
+
+  // kCompare
+  xdm::CompareOp cmp_op = xdm::CompareOp::kEq;
+
+  // kArith
+  xdm::ArithOp arith_op = xdm::ArithOp::kAdd;
+
+  // kQuantified ("every" if true, else "some"); child0 = binding
+  // sequence, child1 = satisfies condition, var_name = the variable.
+  bool is_every = false;
+
+  // kIfExpr: child0 = condition, child1 = then, ret = else.
+
+  // kSequence
+  std::vector<ExprPtr> items;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+/// Renders the expression in XQuery syntax (for diagnostics and tests).
+std::string ToString(const Expr& e, const StringInterner& interner);
+
+}  // namespace xqtp::xquery
+
+#endif  // XQTP_XQUERY_AST_H_

@@ -1,0 +1,56 @@
+// Lexer for the XQuery fragment.
+#ifndef XQTP_XQUERY_LEXER_H_
+#define XQTP_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xqtp::xquery {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kName,        ///< NCName or prefixed name (fn:count)
+  kVariable,    ///< $name (value excludes the '$')
+  kString,      ///< string literal, value is the unescaped content
+  kInteger,
+  kDecimal,
+  kSlash,       ///< /
+  kSlashSlash,  ///< //
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kComma,
+  kAt,          ///< @
+  kDot,         ///< .
+  kColonEq,     ///< :=
+  kAxisSep,     ///< ::
+  kStar,
+  kPlus,
+  kMinus,
+  kBar,         ///< | (union)
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   ///< for names / variables / strings
+  int64_t integer = 0;
+  double decimal = 0;
+  int line = 1;
+};
+
+/// Tokenizes the whole input. XQuery comments `(: ... :)` are skipped.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace xqtp::xquery
+
+#endif  // XQTP_XQUERY_LEXER_H_

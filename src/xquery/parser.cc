@@ -1,0 +1,558 @@
+#include "xquery/parser.h"
+
+#include <utility>
+
+#include "xquery/lexer.h"
+
+namespace xqtp::xquery {
+
+namespace {
+
+ExprPtr MakeExpr(ExprKind k) { return std::make_unique<Expr>(k); }
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, StringInterner* interner)
+      : tokens_(std::move(tokens)), interner_(interner) {}
+
+  Result<ExprPtr> Run() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != TokenKind::kEof) {
+      return Err("unexpected token after end of query");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t off = 0) const {
+    size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Accept(TokenKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptName(std::string_view name) {
+    if (Peek().kind == TokenKind::kName && Peek().text == name) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekName(std::string_view name, size_t off = 0) const {
+    return Peek(off).kind == TokenKind::kName && Peek(off).text == name;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("XQuery parse error at line " +
+                                   std::to_string(Peek().line) + ": " + msg);
+  }
+  Status Expect(TokenKind k, const std::string& what) {
+    if (!Accept(k)) return Err("expected " + what);
+    return Status::OK();
+  }
+
+  // Expr := FLWORExpr | SequenceExpr
+  Result<ExprPtr> ParseExpr() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr first, ParseSingleExpr());
+    if (Peek().kind != TokenKind::kComma) return first;
+    auto seq = MakeExpr(ExprKind::kSequence);
+    seq->items.push_back(std::move(first));
+    while (Accept(TokenKind::kComma)) {
+      XQTP_ASSIGN_OR_RETURN(ExprPtr e, ParseSingleExpr());
+      seq->items.push_back(std::move(e));
+    }
+    return seq;
+  }
+
+  Result<ExprPtr> ParseSingleExpr() {
+    if (PeekName("for") || PeekName("let")) return ParseFlwor();
+    if (PeekName("if") && Peek(1).kind == TokenKind::kLParen) {
+      return ParseIf();
+    }
+    if ((PeekName("some") || PeekName("every")) &&
+        Peek(1).kind == TokenKind::kVariable) {
+      return ParseQuantified();
+    }
+    return ParseOr();
+  }
+
+  // "if" "(" Expr ")" "then" ExprSingle "else" ExprSingle
+  Result<ExprPtr> ParseIf() {
+    ++pos_;  // "if"
+    XQTP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    auto e = MakeExpr(ExprKind::kIfExpr);
+    XQTP_ASSIGN_OR_RETURN(e->child0, ParseExpr());
+    XQTP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    if (!AcceptName("then")) return Err("expected 'then'");
+    XQTP_ASSIGN_OR_RETURN(e->child1, ParseSingleExpr());
+    if (!AcceptName("else")) return Err("expected 'else'");
+    XQTP_ASSIGN_OR_RETURN(e->ret, ParseSingleExpr());
+    return e;
+  }
+
+  // ("some" | "every") "$"v "in" ExprSingle ("," "$"v "in" ...)*
+  // "satisfies" ExprSingle — multiple bindings nest.
+  Result<ExprPtr> ParseQuantified() {
+    bool is_every = Peek().text == "every";
+    ++pos_;
+    struct Binding {
+      std::string var;
+      ExprPtr seq;
+    };
+    std::vector<Binding> bindings;
+    for (;;) {
+      if (Peek().kind != TokenKind::kVariable) {
+        return Err("expected variable in quantified expression");
+      }
+      Binding b;
+      b.var = Next().text;
+      if (!AcceptName("in")) return Err("expected 'in'");
+      XQTP_ASSIGN_OR_RETURN(b.seq, ParseSingleExpr());
+      bindings.push_back(std::move(b));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    if (!AcceptName("satisfies")) return Err("expected 'satisfies'");
+    XQTP_ASSIGN_OR_RETURN(ExprPtr cond, ParseSingleExpr());
+    for (auto it = bindings.rbegin(); it != bindings.rend(); ++it) {
+      auto q = MakeExpr(ExprKind::kQuantified);
+      q->is_every = is_every;
+      q->var_name = std::move(it->var);
+      q->child0 = std::move(it->seq);
+      q->child1 = std::move(cond);
+      cond = std::move(q);
+    }
+    return cond;
+  }
+
+  // FLWOR: (ForClause | LetClause)+ ("where" Expr)? "return" Expr
+  Result<ExprPtr> ParseFlwor() {
+    auto flwor = MakeExpr(ExprKind::kFlwor);
+    for (;;) {
+      if (AcceptName("for")) {
+        XQTP_RETURN_NOT_OK(ParseForBindings(&flwor->clauses));
+      } else if (AcceptName("let")) {
+        XQTP_RETURN_NOT_OK(ParseLetBindings(&flwor->clauses));
+      } else {
+        break;
+      }
+    }
+    if (flwor->clauses.empty()) return Err("expected 'for' or 'let'");
+    if (AcceptName("where")) {
+      FlworClause w;
+      w.kind = FlworClause::Kind::kWhere;
+      XQTP_ASSIGN_OR_RETURN(w.expr, ParseSingleExpr());
+      flwor->clauses.push_back(std::move(w));
+    }
+    if (!AcceptName("return")) return Err("expected 'return'");
+    XQTP_ASSIGN_OR_RETURN(flwor->ret, ParseSingleExpr());
+    return flwor;
+  }
+
+  Status ParseForBindings(std::vector<FlworClause>* out) {
+    for (;;) {
+      FlworClause c;
+      c.kind = FlworClause::Kind::kFor;
+      if (Peek().kind != TokenKind::kVariable) {
+        return Err("expected variable in for clause");
+      }
+      c.var = Next().text;
+      if (AcceptName("at")) {
+        if (Peek().kind != TokenKind::kVariable) {
+          return Err("expected positional variable after 'at'");
+        }
+        c.pos_var = Next().text;
+      }
+      if (!AcceptName("in")) return Err("expected 'in'");
+      XQTP_ASSIGN_OR_RETURN(c.expr, ParseSingleExpr());
+      out->push_back(std::move(c));
+      if (!Accept(TokenKind::kComma)) return Status::OK();
+    }
+  }
+
+  Status ParseLetBindings(std::vector<FlworClause>* out) {
+    for (;;) {
+      FlworClause c;
+      c.kind = FlworClause::Kind::kLet;
+      if (Peek().kind != TokenKind::kVariable) {
+        return Err("expected variable in let clause");
+      }
+      c.var = Next().text;
+      XQTP_RETURN_NOT_OK(Expect(TokenKind::kColonEq, "':='"));
+      XQTP_ASSIGN_OR_RETURN(c.expr, ParseSingleExpr());
+      out->push_back(std::move(c));
+      if (!Accept(TokenKind::kComma)) return Status::OK();
+    }
+  }
+
+  Result<ExprPtr> ParseOr() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (PeekName("or")) {
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      auto e = MakeExpr(ExprKind::kOr);
+      e->child0 = std::move(lhs);
+      e->child1 = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (PeekName("and")) {
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      auto e = MakeExpr(ExprKind::kAnd);
+      e->child0 = std::move(lhs);
+      e->child1 = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    xdm::CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = xdm::CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = xdm::CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = xdm::CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = xdm::CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = xdm::CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = xdm::CompareOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    ++pos_;
+    XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    auto e = MakeExpr(ExprKind::kCompare);
+    e->cmp_op = op;
+    e->child0 = std::move(lhs);
+    e->child1 = std::move(rhs);
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      xdm::ArithOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = xdm::ArithOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = xdm::ArithOp::kSub;
+      } else {
+        return lhs;
+      }
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      auto e = MakeExpr(ExprKind::kArith);
+      e->arith_op = op;
+      e->child0 = std::move(lhs);
+      e->child1 = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnion());
+    for (;;) {
+      xdm::ArithOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = xdm::ArithOp::kMul;
+      } else if (PeekName("div")) {
+        op = xdm::ArithOp::kDiv;
+      } else if (PeekName("idiv")) {
+        op = xdm::ArithOp::kIDiv;
+      } else if (PeekName("mod")) {
+        op = xdm::ArithOp::kMod;
+      } else {
+        return lhs;
+      }
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnion());
+      auto e = MakeExpr(ExprKind::kArith);
+      e->arith_op = op;
+      e->child0 = std::move(lhs);
+      e->child1 = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseUnion() {
+    XQTP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kBar || PeekName("union")) {
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      auto e = MakeExpr(ExprKind::kUnion);
+      e->child0 = std::move(lhs);
+      e->child1 = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      // -E is 0 - E (empty operands still yield the empty sequence).
+      XQTP_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      auto zero = MakeExpr(ExprKind::kLiteral);
+      zero->literal = xdm::Item(static_cast<int64_t>(0));
+      auto e = MakeExpr(ExprKind::kArith);
+      e->arith_op = xdm::ArithOp::kSub;
+      e->child0 = std::move(zero);
+      e->child1 = std::move(operand);
+      return e;
+    }
+    if (Accept(TokenKind::kPlus)) return ParseUnary();
+    return ParsePath();
+  }
+
+  // Path := ("/" RelativePath? | "//" RelativePath | RelativePath)
+  Result<ExprPtr> ParsePath() {
+    ExprPtr lhs;
+    if (Peek().kind == TokenKind::kSlash) {
+      ++pos_;
+      lhs = MakeExpr(ExprKind::kRoot);
+      if (!StartsStep()) return lhs;  // bare "/"
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseStepExpr());
+      auto p = MakeExpr(ExprKind::kPath);
+      p->child0 = std::move(lhs);
+      p->child1 = std::move(rhs);
+      lhs = std::move(p);
+    } else if (Peek().kind == TokenKind::kSlashSlash) {
+      ++pos_;
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseStepExpr());
+      auto p = MakeExpr(ExprKind::kPath);
+      p->child0 = MakeExpr(ExprKind::kRoot);
+      p->child1 = std::move(rhs);
+      p->double_slash = true;
+      lhs = std::move(p);
+    } else {
+      XQTP_ASSIGN_OR_RETURN(lhs, ParseStepExpr());
+    }
+    for (;;) {
+      bool dslash;
+      if (Accept(TokenKind::kSlash)) {
+        dslash = false;
+      } else if (Accept(TokenKind::kSlashSlash)) {
+        dslash = true;
+      } else {
+        break;
+      }
+      XQTP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseStepExpr());
+      auto p = MakeExpr(ExprKind::kPath);
+      p->child0 = std::move(lhs);
+      p->child1 = std::move(rhs);
+      p->double_slash = dslash;
+      lhs = std::move(p);
+    }
+    return lhs;
+  }
+
+  /// True iff the upcoming tokens can begin a path step.
+  bool StartsStep() const {
+    switch (Peek().kind) {
+      case TokenKind::kName:
+      case TokenKind::kStar:
+      case TokenKind::kAt:
+      case TokenKind::kDot:
+      case TokenKind::kVariable:
+      case TokenKind::kString:
+      case TokenKind::kInteger:
+      case TokenKind::kDecimal:
+      case TokenKind::kLParen:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Recognizes an axis keyword followed by "::".
+  bool PeekAxis(Axis* axis) const {
+    if (Peek().kind != TokenKind::kName ||
+        Peek(1).kind != TokenKind::kAxisSep) {
+      return false;
+    }
+    const std::string& n = Peek().text;
+    if (n == "child") {
+      *axis = Axis::kChild;
+    } else if (n == "descendant" || n == "desc") {
+      *axis = Axis::kDescendant;
+    } else if (n == "descendant-or-self") {
+      *axis = Axis::kDescendantOrSelf;
+    } else if (n == "attribute") {
+      *axis = Axis::kAttribute;
+    } else if (n == "self") {
+      *axis = Axis::kSelf;
+    } else if (n == "parent") {
+      *axis = Axis::kParent;
+    } else if (n == "ancestor") {
+      *axis = Axis::kAncestor;
+    } else if (n == "ancestor-or-self") {
+      *axis = Axis::kAncestorOrSelf;
+    } else if (n == "following-sibling") {
+      *axis = Axis::kFollowingSibling;
+    } else if (n == "preceding-sibling") {
+      *axis = Axis::kPrecedingSibling;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  Result<NodeTest> ParseNodeTest() {
+    if (Accept(TokenKind::kStar)) return NodeTest::AnyName();
+    if (Peek().kind != TokenKind::kName) return Err("expected a node test");
+    std::string name = Next().text;
+    if (Peek().kind == TokenKind::kLParen) {
+      // node() or text()
+      ++pos_;
+      XQTP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      if (name == "node") return NodeTest::AnyNode();
+      if (name == "text") return NodeTest::Text();
+      return Err("unsupported kind test '" + name + "()'");
+    }
+    return NodeTest::Name(interner_->Intern(name));
+  }
+
+  // StepExpr := AxisStep Predicates* | PrimaryExpr Predicates*
+  Result<ExprPtr> ParseStepExpr() {
+    Axis axis;
+    // Explicit axis step: axis::test
+    if (PeekAxis(&axis)) {
+      pos_ += 2;  // axis name + "::"
+      auto step = MakeExpr(ExprKind::kStep);
+      step->axis = axis;
+      XQTP_ASSIGN_OR_RETURN(step->test, ParseNodeTest());
+      XQTP_RETURN_NOT_OK(ParsePredicates(&step->predicates));
+      return step;
+    }
+    // @attr abbreviation.
+    if (Accept(TokenKind::kAt)) {
+      auto step = MakeExpr(ExprKind::kStep);
+      step->axis = Axis::kAttribute;
+      XQTP_ASSIGN_OR_RETURN(step->test, ParseNodeTest());
+      XQTP_RETURN_NOT_OK(ParsePredicates(&step->predicates));
+      return step;
+    }
+    // Abbreviated child step: a name (or * / node() / text()) that is not a
+    // function call.
+    if ((Peek().kind == TokenKind::kName &&
+         (Peek(1).kind != TokenKind::kLParen || Peek().text == "node" ||
+          Peek().text == "text")) ||
+        Peek().kind == TokenKind::kStar) {
+      auto step = MakeExpr(ExprKind::kStep);
+      step->axis = Axis::kChild;
+      XQTP_ASSIGN_OR_RETURN(step->test, ParseNodeTest());
+      XQTP_RETURN_NOT_OK(ParsePredicates(&step->predicates));
+      return step;
+    }
+    // Otherwise: primary expression with optional predicates (filter expr).
+    XQTP_ASSIGN_OR_RETURN(ExprPtr prim, ParsePrimary());
+    if (Peek().kind == TokenKind::kLBracket) {
+      auto filter = MakeExpr(ExprKind::kFilter);
+      filter->child0 = std::move(prim);
+      XQTP_RETURN_NOT_OK(ParsePredicates(&filter->predicates));
+      return filter;
+    }
+    return prim;
+  }
+
+  Status ParsePredicates(std::vector<ExprPtr>* preds) {
+    while (Accept(TokenKind::kLBracket)) {
+      XQTP_ASSIGN_OR_RETURN(ExprPtr p, ParseExpr());
+      XQTP_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+      preds->push_back(std::move(p));
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        auto e = MakeExpr(ExprKind::kVarRef);
+        e->var_name = Next().text;
+        return e;
+      }
+      case TokenKind::kString: {
+        auto e = MakeExpr(ExprKind::kLiteral);
+        e->literal = xdm::Item(Next().text);
+        return e;
+      }
+      case TokenKind::kInteger: {
+        auto e = MakeExpr(ExprKind::kLiteral);
+        e->literal = xdm::Item(Next().integer);
+        return e;
+      }
+      case TokenKind::kDecimal: {
+        auto e = MakeExpr(ExprKind::kLiteral);
+        e->literal = xdm::Item(Next().decimal);
+        return e;
+      }
+      case TokenKind::kDot: {
+        ++pos_;
+        return MakeExpr(ExprKind::kContextItem);
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        if (Accept(TokenKind::kRParen)) {
+          return MakeExpr(ExprKind::kSequence);  // empty sequence "()"
+        }
+        XQTP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        XQTP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kName: {
+        // Function call.
+        if (Peek(1).kind == TokenKind::kLParen) {
+          auto e = MakeExpr(ExprKind::kFnCall);
+          e->fn_name = Next().text;
+          ++pos_;  // '('
+          if (!Accept(TokenKind::kRParen)) {
+            for (;;) {
+              XQTP_ASSIGN_OR_RETURN(ExprPtr arg, ParseSingleExpr());
+              e->args.push_back(std::move(arg));
+              if (Accept(TokenKind::kRParen)) break;
+              XQTP_RETURN_NOT_OK(Expect(TokenKind::kComma, "',' or ')'"));
+            }
+          }
+          return e;
+        }
+        return Err("unexpected name '" + t.text + "'");
+      }
+      default:
+        return Err("unexpected token");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  StringInterner* interner_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view query, StringInterner* interner) {
+  XQTP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(query));
+  Parser p(std::move(tokens), interner);
+  return p.Run();
+}
+
+}  // namespace xqtp::xquery

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the XQuery fragment.
+#ifndef XQTP_XQUERY_PARSER_H_
+#define XQTP_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xqtp::xquery {
+
+/// Parses a query. Names (tags, attribute names) are interned in
+/// `interner` so they can be compared against document tags downstream.
+Result<ExprPtr> ParseQuery(std::string_view query, StringInterner* interner);
+
+}  // namespace xqtp::xquery
+
+#endif  // XQTP_XQUERY_PARSER_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "algebra/compile.h"
+#include "algebra/printer.h"
+#include "core/normalize.h"
+#include "core/rewrite.h"
+#include "xquery/parser.h"
+
+namespace xqtp::algebra {
+namespace {
+
+class CompileTest : public ::testing::Test {
+ protected:
+  std::string Plan(const std::string& q) {
+    auto surface = xquery::ParseQuery(q, &interner_);
+    EXPECT_TRUE(surface.ok()) << surface.status().ToString();
+    vars_ = core::VarTable();
+    auto c = core::Normalize(**surface, &vars_);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, {});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    auto plan = Compile(**r, vars_, &interner_);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(plan).value();
+    return ToString(*plan_, vars_, interner_);
+  }
+
+  StringInterner interner_;
+  core::VarTable vars_;
+  OpPtr plan_;
+};
+
+TEST_F(CompileTest, Q1aCompilesToP1) {
+  // The paper's plan P1, exactly.
+  EXPECT_EQ(Plan("$d//person[emailaddress]/name"),
+            "fs:ddo(MapToItem{TreeJoin[child::name](IN#dot)}"
+            "(MapFromItem{[dot : IN]}"
+            "(MapToItem{IN#dot}"
+            "(Select{fn:boolean(TreeJoin[child::emailaddress](IN#dot))}"
+            "(MapFromItem{[dot : IN]}"
+            "(MapToItem{TreeJoin[descendant::person](IN#dot)}"
+            "(MapFromItem{[dot : IN]}($d))))))))");
+}
+
+TEST_F(CompileTest, ComparisonSelectsCompileBare) {
+  // Boolean-typed predicates are not wrapped in fn:boolean (the paper's
+  // Q2 plan prints Select{TreeJoin[child::name](IN#dot)="John"}).
+  std::string p = Plan("$d//person[name = \"John\"]");
+  EXPECT_NE(p.find("Select{TreeJoin[child::name](IN#dot)=\"John\"}"),
+            std::string::npos)
+      << p;
+}
+
+TEST_F(CompileTest, PositionalLoopCompilesToForEach) {
+  std::string p = Plan("$d//person[1]");
+  EXPECT_NE(p.find("ForEach[$dot at $position]"), std::string::npos) << p;
+}
+
+TEST_F(CompileTest, LinearForUsesTupleOperators) {
+  std::string p = Plan("for $x in $d/a return $x/b");
+  EXPECT_NE(p.find("MapFromItem{[dot : IN]}"), std::string::npos) << p;
+  EXPECT_EQ(p.find("ForEach"), std::string::npos) << p;
+}
+
+TEST_F(CompileTest, GlobalsCompileToLeaves) {
+  std::string p = Plan("$d/a");
+  EXPECT_NE(p.find("($d)"), std::string::npos) << p;
+}
+
+TEST_F(CompileTest, StatsCountOperators) {
+  Plan("$d//person[emailaddress]/name");
+  PlanStats stats = ComputeStats(*plan_);
+  EXPECT_EQ(stats.tree_pattern_ops, 0);
+  EXPECT_EQ(stats.tree_join_ops, 3);
+  EXPECT_GE(stats.map_ops, 5);
+  EXPECT_EQ(stats.ddo_ops, 1);
+}
+
+TEST_F(CompileTest, SequenceAndLiterals) {
+  std::string p = Plan("(1, \"two\", 3.5)");
+  EXPECT_NE(p.find("Sequence"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"two\""), std::string::npos) << p;
+}
+
+}  // namespace
+}  // namespace xqtp::algebra

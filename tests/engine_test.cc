@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace xqtp::engine {
+namespace {
+
+TEST(EngineTest, LoadAndFindDocument) {
+  Engine e;
+  auto doc = e.LoadDocument("d", "<a><b/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(e.FindDocument("d"), doc.value());
+  EXPECT_EQ(e.FindDocument("x"), nullptr);
+}
+
+TEST(EngineTest, LoadRejectsBadXml) {
+  Engine e;
+  EXPECT_FALSE(e.LoadDocument("d", "<a><b></a>").ok());
+}
+
+TEST(EngineTest, DocumentsGetDistinctIds) {
+  Engine e;
+  auto d1 = e.LoadDocument("d1", "<a/>");
+  auto d2 = e.LoadDocument("d2", "<a/>");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_NE(d1.value()->id(), d2.value()->id());
+}
+
+TEST(EngineTest, CompileExposesAllPhases) {
+  Engine e;
+  auto cq = e.Compile("$d//person[emailaddress]/name");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->source(), "$d//person[emailaddress]/name");
+  // Normalized form still has the typeswitch; rewritten form does not.
+  std::string explain = e.Explain(*cq);
+  EXPECT_NE(explain.find("typeswitch"), std::string::npos);
+  EXPECT_NE(explain.find("TupleTreePattern"), std::string::npos);
+  EXPECT_NE(explain.find("== optimized plan =="), std::string::npos);
+}
+
+TEST(EngineTest, GlobalNames) {
+  Engine e;
+  auto cq = e.Compile("for $x in $a/p return $b/q");
+  ASSERT_TRUE(cq.ok());
+  std::vector<std::string> names = cq->GlobalNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EngineTest, RunConvenience) {
+  Engine e;
+  auto doc = e.LoadDocument("d", "<r><p><q>hi</q></p></r>");
+  ASSERT_TRUE(doc.ok());
+  auto res = e.Run("$d/r/p/q", *doc.value());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_EQ((*res)[0].StringValue(), "hi");
+}
+
+TEST(EngineTest, CompileOptionsDisableRewrite) {
+  Engine e;
+  CompileOptions opts;
+  opts.rewrite = false;
+  auto cq = e.Compile("$d//person[emailaddress]/name", opts);
+  ASSERT_TRUE(cq.ok());
+  // Without the rewrite phase the typeswitch survives into the plan side
+  // (compiled via the scoped Typeswitch operator).
+  algebra::PlanStats stats = cq->Stats();
+  EXPECT_EQ(stats.tree_pattern_ops, 0);
+}
+
+TEST(EngineTest, OldEngineModeKeepsTreeJoins) {
+  Engine e;
+  CompileOptions opts;
+  opts.detect_tree_patterns = false;
+  auto cq = e.Compile("$d//person[emailaddress]/name", opts);
+  ASSERT_TRUE(cq.ok());
+  algebra::PlanStats stats = cq->Stats();
+  EXPECT_EQ(stats.tree_pattern_ops, 0);
+  EXPECT_EQ(stats.tree_join_ops, 3);
+}
+
+TEST(EngineTest, StatsForDetectedPattern) {
+  Engine e;
+  auto cq = e.Compile("$d//person[emailaddress]/name");
+  ASSERT_TRUE(cq.ok());
+  algebra::PlanStats stats = cq->Stats();
+  EXPECT_EQ(stats.tree_pattern_ops, 1);
+  EXPECT_EQ(stats.tree_join_ops, 0);
+  EXPECT_EQ(stats.max_pattern_steps, 3);
+  EXPECT_EQ(stats.ddo_ops, 0);
+}
+
+TEST(EngineTest, ExecuteAgainstTwoDocuments) {
+  Engine e;
+  auto d1 = e.LoadDocument("d1", "<r><x>1</x></r>");
+  auto d2 = e.LoadDocument("d2", "<r><x>2</x></r>");
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  auto cq = e.Compile("($a/r/x, $b/r/x)");
+  ASSERT_TRUE(cq.ok());
+  Engine::GlobalMap globals{
+      {"a", {xdm::Item(d1.value()->root())}},
+      {"b", {xdm::Item(d2.value()->root())}},
+  };
+  auto res = e.Execute(*cq, globals);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->size(), 2u);
+  EXPECT_EQ((*res)[0].StringValue(), "1");
+  EXPECT_EQ((*res)[1].StringValue(), "2");
+}
+
+TEST(EngineTest, CompileErrorsPropagate) {
+  Engine e;
+  EXPECT_FALSE(e.Compile("for $x in").ok());
+  EXPECT_FALSE(e.Compile("fn:unknown-function($d)").ok());
+}
+
+}  // namespace
+}  // namespace xqtp::engine

@@ -1,0 +1,79 @@
+// Tests for the TagStream cursor (xml/index.h) — the skip primitive the
+// staircase join's description is built on.
+#include <gtest/gtest.h>
+
+#include "xml/index.h"
+#include "xml/parser.h"
+
+namespace xqtp::xml {
+namespace {
+
+class TagStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto res = Parse(
+        "<r><a/><b><a/><a/></b><c><a/></c><a/></r>", &interner_);
+    ASSERT_TRUE(res.ok());
+    doc_ = std::move(res).value();
+    a_ = interner_.Lookup("a");
+  }
+
+  StringInterner interner_;
+  std::unique_ptr<Document> doc_;
+  Symbol a_;
+};
+
+TEST_F(TagStreamTest, IteratesInDocumentOrder) {
+  TagStream ts(*doc_, a_);
+  EXPECT_EQ(ts.size(), 5u);
+  int32_t last = -1;
+  int count = 0;
+  while (!ts.AtEnd()) {
+    EXPECT_GT(ts.Head()->pre, last);
+    last = ts.Head()->pre;
+    ts.Advance();
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(ts.position(), 5u);
+}
+
+TEST_F(TagStreamTest, SkipToPreAfter) {
+  TagStream ts(*doc_, a_);
+  const Node* b = doc_->root()->first_child->first_child->next_sibling;
+  ts.SkipToPreAfter(b->pre);
+  // First a strictly inside/after b.
+  ASSERT_FALSE(ts.AtEnd());
+  EXPECT_GT(ts.Head()->pre, b->pre);
+  // Skipping backwards is a no-op (monotone cursor).
+  ts.SkipToPreAfter(0);
+  EXPECT_GT(ts.Head()->pre, b->pre);
+}
+
+TEST_F(TagStreamTest, SkipIntoSubtree) {
+  TagStream ts(*doc_, a_);
+  const Node* c = doc_->root()
+                      ->first_child->first_child->next_sibling->next_sibling;
+  ts.SkipIntoSubtree(c);
+  ASSERT_FALSE(ts.AtEnd());
+  EXPECT_TRUE(c->IsAncestorOf(*ts.Head()));
+}
+
+TEST_F(TagStreamTest, AllElementsStreamAndReset) {
+  TagStream all(*doc_, kInvalidSymbol);
+  EXPECT_EQ(all.size(), 8u);  // r, a, b, a, a, c, a, a
+  all.SkipToPreAfter(3);
+  EXPECT_GT(all.position(), 0u);
+  all.Reset();
+  EXPECT_EQ(all.position(), 0u);
+  EXPECT_FALSE(all.AtEnd());
+}
+
+TEST_F(TagStreamTest, UnknownTagIsEmpty) {
+  TagStream ts(*doc_, interner_.Intern("zzz"));
+  EXPECT_TRUE(ts.AtEnd());
+  EXPECT_EQ(ts.size(), 0u);
+}
+
+}  // namespace
+}  // namespace xqtp::xml

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace xqtp {
+namespace {
+
+TEST(Interner, DenseStableSymbols) {
+  StringInterner in;
+  Symbol a = in.Intern("alpha");
+  Symbol b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.NameOf(a), "alpha");
+  EXPECT_EQ(in.NameOf(b), "beta");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, LookupWithoutInterning) {
+  StringInterner in;
+  EXPECT_EQ(in.Lookup("nope"), kInvalidSymbol);
+  Symbol a = in.Intern("yes");
+  EXPECT_EQ(in.Lookup("yes"), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Status, CodesAndMessages) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("oops");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: oops");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad(Status::TypeError("t"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("x");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    XQTP_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_FALSE(outer(true).ok());
+}
+
+}  // namespace
+}  // namespace xqtp

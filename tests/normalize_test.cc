@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/printer.h"
+#include "xquery/parser.h"
+
+namespace xqtp::core {
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  std::string Norm(const std::string& q) {
+    auto surface = xquery::ParseQuery(q, &interner_);
+    EXPECT_TRUE(surface.ok()) << surface.status().ToString();
+    if (!surface.ok()) return "";
+    vars_ = VarTable();
+    auto core = Normalize(**surface, &vars_);
+    EXPECT_TRUE(core.ok()) << core.status().ToString();
+    if (!core.ok()) return "";
+    root_ = std::move(core).value();
+    return ToString(*root_, vars_, interner_);
+  }
+
+  StringInterner interner_;
+  VarTable vars_;
+  CoreExprPtr root_;
+};
+
+TEST_F(NormalizeTest, PathIntroducesFocusAndDdo) {
+  std::string s = Norm("$d/person");
+  // The paper's / rule: ddo(let $seq := ddo(E1) return let $last :=
+  // fn:count($seq) return for $dot at $position in $seq return E2).
+  EXPECT_EQ(s,
+            "ddo(let $seq := ddo($d) return let $last := fn:count($seq) "
+            "return for $dot at $position in $seq return child::person)");
+}
+
+TEST_F(NormalizeTest, PredicateIntroducesTypeswitch) {
+  std::string s = Norm("$d/person[emailaddress]");
+  // The predicate rule produces the positional typeswitch of Q1a-n.
+  EXPECT_NE(s.find("typeswitch (child::emailaddress) case $v as numeric() "
+                   "return $position = $v default $v return fn:boolean($v)"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("for $dot at $position in $seq where"), std::string::npos);
+}
+
+TEST_F(NormalizeTest, DoubleSlashSimplifiedForNonPositionalPredicate) {
+  // The footnote simplification: $d//person[emailaddress] uses
+  // descendant::person directly.
+  std::string s = Norm("$d//person[emailaddress]");
+  EXPECT_NE(s.find("descendant::person"), std::string::npos);
+  EXPECT_EQ(s.find("descendant-or-self"), std::string::npos);
+}
+
+TEST_F(NormalizeTest, DoubleSlashExpandedForPositionalPredicate) {
+  // The paper's positional example: $d//person[1] must go through
+  // descendant-or-self::node()/child::person to keep positions correct.
+  std::string s = Norm("$d//person[1]");
+  EXPECT_NE(s.find("descendant-or-self::node()"), std::string::npos);
+  EXPECT_NE(s.find("child::person"), std::string::npos);
+}
+
+TEST_F(NormalizeTest, DoubleSlashExpandedForPositionFunction) {
+  std::string s = Norm("$d//person[position() = 1]");
+  EXPECT_NE(s.find("descendant-or-self::node()"), std::string::npos);
+}
+
+TEST_F(NormalizeTest, FlworForWhere) {
+  std::string s = Norm("for $x in $d/a where $x/b return $x");
+  EXPECT_NE(s.find("for $x in"), std::string::npos);
+  // The where condition is normalized with the EBV wrapper.
+  EXPECT_NE(s.find("where fn:boolean("), std::string::npos);
+}
+
+TEST_F(NormalizeTest, FlworLet) {
+  std::string s = Norm("let $x := $d/a return $x");
+  EXPECT_NE(s.find("let $x :="), std::string::npos);
+}
+
+TEST_F(NormalizeTest, PositionLastResolveToFocusVariables) {
+  std::string s = Norm("$d/a[position() = last()]");
+  EXPECT_NE(s.find("$position = $last"), std::string::npos);
+}
+
+TEST_F(NormalizeTest, PositionOutsideFocusFails) {
+  auto surface = xquery::ParseQuery("position()", &interner_);
+  ASSERT_TRUE(surface.ok());
+  VarTable vars;
+  auto core = Normalize(**surface, &vars);
+  EXPECT_FALSE(core.ok());
+}
+
+TEST_F(NormalizeTest, FreeVariablesBecomeGlobals) {
+  Norm("$doc/a");
+  EXPECT_NE(vars_.FindGlobal("doc"), kNoVar);
+  EXPECT_EQ(vars_.FindGlobal("nope"), kNoVar);
+}
+
+TEST_F(NormalizeTest, UniqueBindersDespiteSharedNames) {
+  Norm("$d/a/b/c");
+  // Three focus loops all display "$dot" but have distinct VarIds —
+  // count the binders.
+  int dot_binders = 0;
+  std::vector<const CoreExpr*> stack{root_.get()};
+  while (!stack.empty()) {
+    const CoreExpr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == CoreKind::kFor && vars_.NameOf(e->var) == "dot") {
+      ++dot_binders;
+    }
+    for (const CoreExprPtr& c : e->children) stack.push_back(c.get());
+    if (e->where) stack.push_back(e->where.get());
+  }
+  EXPECT_EQ(dot_binders, 3);
+}
+
+TEST_F(NormalizeTest, UnsupportedFunctionRejected) {
+  auto surface = xquery::ParseQuery("fn:string-join($d/a)", &interner_);
+  ASSERT_TRUE(surface.ok());
+  VarTable vars;
+  auto core = Normalize(**surface, &vars);
+  EXPECT_FALSE(core.ok());
+  EXPECT_EQ(core.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(NormalizeTest, ComparisonsAndLogic) {
+  std::string s = Norm("$d/a = \"x\" and $d/b");
+  EXPECT_NE(s.find("and"), std::string::npos);
+  EXPECT_NE(s.find("= \"x\""), std::string::npos);
+}
+
+TEST_F(NormalizeTest, MultiplePredicatesFoldLeftToRight) {
+  std::string s = Norm("$d/a[b][c]");
+  // Both predicates produce their own focus loop; the [c] loop consumes
+  // the [b]-filtered sequence.
+  size_t first = s.find("child::b");
+  size_t second = s.find("child::c");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST_F(NormalizeTest, AlphaEqualNormalization) {
+  auto s1 = xquery::ParseQuery("$d/a/b", &interner_);
+  auto s2 = xquery::ParseQuery("$d/a/b", &interner_);
+  VarTable v1, v2;
+  auto c1 = Normalize(**s1, &v1);
+  auto c2 = Normalize(**s2, &v2);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_TRUE(AlphaEqual(**c1, **c2));
+}
+
+}  // namespace
+}  // namespace xqtp::core

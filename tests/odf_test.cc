@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/odf.h"
+
+namespace xqtp::core {
+namespace {
+
+class OdfTest : public ::testing::Test {
+ protected:
+  StringInterner interner_;
+  VarTable vars_;
+  OdfEnv env_;
+
+  OdfProps Props(const CoreExprPtr& e) { return ComputeOdf(*e, vars_, env_); }
+
+  CoreExprPtr Step(VarId ctx, Axis axis) {
+    return MakeStep(ctx, axis, NodeTest::AnyName());
+  }
+};
+
+TEST_F(OdfTest, GlobalsAreSingletons) {
+  VarId g = vars_.Global("d");
+  OdfProps p = Props(MakeVar(g));
+  EXPECT_TRUE(p.OrderedDupFree());
+  EXPECT_TRUE(p.unrelated);
+  EXPECT_EQ(p.card, Card::kOne);
+}
+
+TEST_F(OdfTest, StepsFromSingletonContext) {
+  VarId g = vars_.Global("d");
+  // child from a singleton: ordered, duplicate-free, unrelated.
+  OdfProps child = Props(Step(g, Axis::kChild));
+  EXPECT_TRUE(child.OrderedDupFree());
+  EXPECT_TRUE(child.unrelated);
+  // descendant from a singleton: ordered+df but RELATED (nodes nest).
+  OdfProps desc = Props(Step(g, Axis::kDescendant));
+  EXPECT_TRUE(desc.OrderedDupFree());
+  EXPECT_FALSE(desc.unrelated);
+}
+
+TEST_F(OdfTest, DdoEstablishesOrderedDupFree) {
+  VarId v = vars_.Fresh("v");  // unknown props
+  OdfProps p = Props(MakeDdo(MakeVar(v)));
+  EXPECT_TRUE(p.OrderedDupFree());
+}
+
+TEST_F(OdfTest, ForOverSingletonTakesBodyProps) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  auto f = MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kDescendant));
+  OdfProps p = Props(f);
+  EXPECT_TRUE(p.OrderedDupFree());
+  EXPECT_FALSE(p.unrelated);
+}
+
+TEST_F(OdfTest, ChildChainOverUnrelatedManyStaysOrdered) {
+  // for $y in (child step over $d) return $y/child::* — the Figure 4
+  // variant pattern: ordered even without any ddo.
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId y = vars_.Fresh("y");
+  auto inner = MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kChild));
+  auto outer =
+      MakeFor(y, kNoVar, std::move(inner), nullptr, Step(y, Axis::kChild));
+  OdfProps p = Props(outer);
+  EXPECT_TRUE(p.OrderedDupFree());
+  EXPECT_TRUE(p.unrelated);
+}
+
+TEST_F(OdfTest, ChildStepOverRelatedManyIsUnknown) {
+  // The Q5 situation: child step iterated over a descendant result.
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId y = vars_.Fresh("y");
+  auto inner =
+      MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kDescendant));
+  auto outer =
+      MakeFor(y, kNoVar, std::move(inner), nullptr, Step(y, Axis::kChild));
+  OdfProps p = Props(outer);
+  EXPECT_FALSE(p.OrderedDupFree());
+}
+
+TEST_F(OdfTest, DescendantLastStepOverUnrelatedManyOrderedButRelated) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId y = vars_.Fresh("y");
+  auto inner = MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kChild));
+  auto outer = MakeFor(y, kNoVar, std::move(inner), nullptr,
+                       Step(y, Axis::kDescendant));
+  OdfProps p = Props(outer);
+  EXPECT_TRUE(p.OrderedDupFree());
+  EXPECT_FALSE(p.unrelated);
+}
+
+TEST_F(OdfTest, FilterPreservesProps) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId y = vars_.Fresh("y");
+  auto inner =
+      MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kDescendant));
+  // for $y in <desc result> where <cond> return $y : pure filter.
+  auto outer = MakeFor(y, kNoVar, std::move(inner),
+                       Step(y, Axis::kChild), MakeVar(y));
+  OdfProps p = Props(outer);
+  EXPECT_TRUE(p.OrderedDupFree());
+}
+
+TEST_F(OdfTest, PositionalLoopBlocksChainAnalysis) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId y = vars_.Fresh("y");
+  VarId pos = vars_.Fresh("p");
+  auto inner = MakeFor(x, kNoVar, MakeVar(g), nullptr, Step(x, Axis::kChild));
+  auto outer =
+      MakeFor(y, pos, std::move(inner), nullptr, Step(y, Axis::kChild));
+  // The positional variable makes the loop observationally different.
+  OdfProps p = Props(outer);
+  EXPECT_FALSE(p.OrderedDupFree());
+}
+
+TEST_F(OdfTest, SequenceConcatenationIsUnknown) {
+  VarId g = vars_.Global("d");
+  std::vector<CoreExprPtr> items;
+  items.push_back(Step(g, Axis::kChild));
+  items.push_back(Step(g, Axis::kChild));
+  OdfProps p = Props(MakeSequence(std::move(items)));
+  EXPECT_FALSE(p.OrderedDupFree());
+}
+
+TEST_F(OdfTest, FnCallsAreSingletons) {
+  VarId g = vars_.Global("d");
+  std::vector<CoreExprPtr> args;
+  args.push_back(MakeVar(g));
+  OdfProps p = Props(MakeFnCall(CoreFn::kCount, std::move(args)));
+  EXPECT_EQ(p.card, Card::kOne);
+  EXPECT_TRUE(p.OrderedDupFree());
+}
+
+}  // namespace
+}  // namespace xqtp::core

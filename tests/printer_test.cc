@@ -1,0 +1,115 @@
+// Golden tests for the Core and algebra printers — the notations the
+// paper uses (and that the plan-equality experiments depend on).
+#include <gtest/gtest.h>
+
+#include "algebra/compile.h"
+#include "algebra/optimize.h"
+#include "algebra/printer.h"
+#include "core/normalize.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "engine/engine.h"
+#include "xquery/parser.h"
+
+namespace xqtp {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  void Compile(const std::string& q) {
+    auto surface = xquery::ParseQuery(q, &interner_);
+    ASSERT_TRUE(surface.ok()) << surface.status().ToString();
+    vars_ = core::VarTable();
+    auto c = core::Normalize(**surface, &vars_);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    normalized_ = core::Clone(**c);
+    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, {});
+    ASSERT_TRUE(r.ok());
+    rewritten_ = std::move(r).value();
+  }
+
+  StringInterner interner_;
+  core::VarTable vars_;
+  core::CoreExprPtr normalized_;
+  core::CoreExprPtr rewritten_;
+};
+
+TEST_F(PrinterTest, CorePrinterMatchesPaperStyle) {
+  Compile("$d//person[emailaddress]/name");
+  std::string s = core::ToString(*rewritten_, vars_, interner_);
+  EXPECT_EQ(s,
+            "ddo(for $dot in (for $dot in (for $dot in $d return "
+            "descendant::person) where child::emailaddress return $dot) "
+            "return child::name)");
+}
+
+TEST_F(PrinterTest, VerboseModeShowsUniqueVariables) {
+  Compile("$d/a/b");
+  core::PrintOptions opts;
+  opts.verbose = true;
+  std::string s = core::ToString(*rewritten_, vars_, interner_, opts);
+  // Unique ids visible and step contexts explicit.
+  EXPECT_NE(s.find("$dot_"), std::string::npos) << s;
+  EXPECT_NE(s.find("/child::a"), std::string::npos) << s;
+}
+
+TEST_F(PrinterTest, TypeswitchPrinting) {
+  Compile("$d/a[1]");
+  std::string s = core::ToString(*normalized_, vars_, interner_);
+  EXPECT_NE(s.find("typeswitch (1) case $v as numeric() return "
+                   "$position = $v default $v return fn:boolean($v)"),
+            std::string::npos)
+      << s;
+}
+
+TEST_F(PrinterTest, PrettyPlanIsIndented) {
+  engine::Engine e;
+  auto cq = e.Compile("$d//person[emailaddress]/name");
+  ASSERT_TRUE(cq.ok());
+  std::string pretty =
+      algebra::ToPrettyString(cq->optimized(), cq->vars(), *e.interner());
+  // Multi-line with two-space indentation.
+  EXPECT_NE(pretty.find("(\n  TupleTreePattern"), std::string::npos)
+      << pretty;
+  // Flat rendering of the same plan has no newlines.
+  std::string flat =
+      algebra::ToString(cq->optimized(), cq->vars(), *e.interner());
+  EXPECT_EQ(flat.find('\n'), std::string::npos);
+}
+
+TEST_F(PrinterTest, OperatorNames) {
+  engine::Engine e;
+  engine::CompileOptions opts;
+  opts.detect_tree_patterns = false;
+  auto cq = e.Compile("$d//person[1]", opts);
+  ASSERT_TRUE(cq.ok());
+  std::string s =
+      algebra::ToString(cq->optimized(), cq->vars(), *e.interner());
+  EXPECT_NE(s.find("fs:ddo("), std::string::npos) << s;
+  EXPECT_NE(s.find("TreeJoin[descendant-or-self::node()]"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("ForEach[$dot at $position]"), std::string::npos) << s;
+}
+
+TEST_F(PrinterTest, ArithAndComparisonRendering) {
+  Compile("1 + 2 * 3 = 7");
+  std::string s = core::ToString(*rewritten_, vars_, interner_);
+  EXPECT_EQ(s, "(1 + (2 * 3)) = 7");
+}
+
+TEST_F(PrinterTest, PatternGrammarRendering) {
+  engine::Engine e;
+  engine::CompileOptions opts;
+  opts.positional_patterns = true;
+  auto cq = e.Compile("$d//t01[1][t02]/t03", opts);
+  ASSERT_TRUE(cq.ok());
+  std::string s =
+      algebra::ToString(cq->optimized(), cq->vars(), *e.interner());
+  // position renders inline, predicate branch after the output field.
+  EXPECT_NE(s.find("child::t01[1]"), std::string::npos) << s;
+  EXPECT_NE(s.find("[child::t02]"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace xqtp

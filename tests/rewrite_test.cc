@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "xquery/parser.h"
+
+namespace xqtp::core {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  std::string Rewrite(const std::string& q, const RewriteOptions& opts = {}) {
+    auto surface = xquery::ParseQuery(q, &interner_);
+    EXPECT_TRUE(surface.ok()) << surface.status().ToString();
+    if (!surface.ok()) return "";
+    vars_ = VarTable();
+    auto core = Normalize(**surface, &vars_);
+    EXPECT_TRUE(core.ok()) << core.status().ToString();
+    if (!core.ok()) return "";
+    auto rewritten = RewriteToTPNF(std::move(core).value(), &vars_, opts);
+    EXPECT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+    if (!rewritten.ok()) return "";
+    root_ = std::move(rewritten).value();
+    return ToString(*root_, vars_, interner_);
+  }
+
+  StringInterner interner_;
+  VarTable vars_;
+  CoreExprPtr root_;
+};
+
+TEST_F(RewriteTest, Q1aReachesTheTpForm) {
+  // The paper's Q1-tp.
+  EXPECT_EQ(Rewrite("$d//person[emailaddress]/name"),
+            "ddo(for $dot in (for $dot in (for $dot in $d return "
+            "descendant::person) where child::emailaddress return $dot) "
+            "return child::name)");
+}
+
+TEST_F(RewriteTest, Q1bAndQ1cReachTheSameForm) {
+  Rewrite("$d//person[emailaddress]/name");
+  CoreExprPtr q1a = std::move(root_);
+  Rewrite("(for $x in $d//person[emailaddress] return $x)/name");
+  CoreExprPtr q1b = std::move(root_);
+  Rewrite(
+      "let $x := for $y in $d//person where $y/emailaddress return $y "
+      "return $x/name");
+  CoreExprPtr q1c = std::move(root_);
+  // Variable display names differ (the user wrote $x / $y), so compare up
+  // to alpha-renaming.
+  EXPECT_TRUE(AlphaEqual(*q1a, *q1b));
+  EXPECT_TRUE(AlphaEqual(*q1a, *q1c));
+}
+
+TEST_F(RewriteTest, Q5KeepsNoOuterDdo) {
+  // Q5 is NOT equivalent to Q1a: no surrounding ddo may appear.
+  std::string q5 =
+      Rewrite("for $x in $d//person[emailaddress] return $x/name");
+  EXPECT_EQ(q5.rfind("ddo(", 0), std::string::npos) << q5;
+  EXPECT_EQ(q5,
+            "for $dot in (for $dot in (for $dot in $d return "
+            "descendant::person) where child::emailaddress return $dot) "
+            "return child::name");
+}
+
+TEST_F(RewriteTest, TypeswitchResolvedForNodePredicate) {
+  std::string s = Rewrite("$d/person[emailaddress]");
+  EXPECT_EQ(s.find("typeswitch"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, TypeswitchResolvedForNumericPredicate) {
+  std::string s = Rewrite("$d/person[1]");
+  EXPECT_EQ(s.find("typeswitch"), std::string::npos) << s;
+  // The numeric branch survives as a positional comparison.
+  EXPECT_NE(s.find("$position = 1"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, PositionalForBlocksLoopSplit) {
+  // The paper's loop-split guard example.
+  std::string s = Rewrite("$d//person[1]/name");
+  // The positional loop must remain nested in a return (not hoisted into
+  // an iterator), keeping per-context positions.
+  EXPECT_NE(s.find("return for $dot at $position in child::person"),
+            std::string::npos)
+      << s;
+}
+
+TEST_F(RewriteTest, DeadLastBindingRemoved) {
+  std::string s = Rewrite("$d/person[emailaddress]");
+  EXPECT_EQ(s.find("fn:count"), std::string::npos) << s;
+  EXPECT_EQ(s.find("$last"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, LastKeptWhenUsed) {
+  std::string s = Rewrite("$d/person[position() = last()]");
+  EXPECT_NE(s.find("fn:count"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, DdoRemovalCanBeDisabled) {
+  RewriteOptions opts;
+  opts.ddo_removal = false;
+  std::string with_ddo = Rewrite("$d/person", opts);
+  EXPECT_NE(with_ddo.find("ddo("), std::string::npos) << with_ddo;
+  std::string without = Rewrite("$d/person");
+  EXPECT_EQ(without.find("ddo("), std::string::npos) << without;
+}
+
+TEST_F(RewriteTest, LoopSplitCanBeDisabled) {
+  RewriteOptions opts;
+  opts.loop_split = false;
+  std::string with = Rewrite("$d//person[emailaddress]/name");
+  std::string without = Rewrite("$d//person[emailaddress]/name", opts);
+  EXPECT_NE(with, without);
+}
+
+TEST_F(RewriteTest, PureChildPathLosesAllDdos) {
+  // All-child paths are statically ordered/duplicate-free: even the outer
+  // ddo disappears.
+  std::string s = Rewrite("$input/site/people/person");
+  EXPECT_EQ(s.find("ddo"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, DescendantPathKeepsOuterDdoOnly) {
+  std::string s = Rewrite("$d//person/name");
+  EXPECT_EQ(s.rfind("ddo(", 0), 0u) << s;             // outer ddo kept
+  EXPECT_EQ(s.find("ddo(", 4), std::string::npos) << s;  // no inner ddo
+}
+
+TEST_F(RewriteTest, WhereBooleanWrapperDropped) {
+  std::string s = Rewrite("for $x in $d/a where $x/b return $x");
+  EXPECT_EQ(s.find("where fn:boolean"), std::string::npos) << s;
+  EXPECT_NE(s.find("where child::b"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, ComparisonPredicateKeptOutsidePattern) {
+  std::string s = Rewrite("$d//person[name = \"John\"]/emailaddress");
+  EXPECT_NE(s.find("where (child::name = \"John\")"), std::string::npos) << s;
+}
+
+TEST_F(RewriteTest, RewritingIsIdempotent) {
+  std::string once = Rewrite("$d//person[emailaddress]/name");
+  // Rewriting the rewritten expression again changes nothing.
+  auto again = RewriteToTPNF(Clone(*root_), &vars_, RewriteOptions{});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ToString(**again, vars_, interner_), once);
+}
+
+}  // namespace
+}  // namespace xqtp::core

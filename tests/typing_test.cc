@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/typing.h"
+
+namespace xqtp::core {
+namespace {
+
+class TypingTest : public ::testing::Test {
+ protected:
+  StringInterner interner_;
+  VarTable vars_;
+  TypeEnv env_;
+
+  AbstractType TypeOf(const CoreExprPtr& e) {
+    return InferType(*e, vars_, env_);
+  }
+};
+
+TEST_F(TypingTest, Literals) {
+  EXPECT_EQ(TypeOf(MakeLiteral(xdm::Item(static_cast<int64_t>(1)))),
+            AbstractType::kNumeric);
+  EXPECT_EQ(TypeOf(MakeLiteral(xdm::Item(1.5))), AbstractType::kNumeric);
+  EXPECT_EQ(TypeOf(MakeLiteral(xdm::Item(true))), AbstractType::kBoolean);
+  EXPECT_EQ(TypeOf(MakeLiteral(xdm::Item(std::string("s")))),
+            AbstractType::kString);
+}
+
+TEST_F(TypingTest, StepsAndDdoAreNodes) {
+  VarId dot = vars_.Fresh("dot");
+  auto step = MakeStep(dot, Axis::kChild, NodeTest::AnyName());
+  EXPECT_EQ(TypeOf(step), AbstractType::kNodes);
+  std::vector<CoreExprPtr> args;
+  auto ddo = MakeDdo(MakeStep(dot, Axis::kChild, NodeTest::AnyName()));
+  EXPECT_EQ(TypeOf(ddo), AbstractType::kNodes);
+}
+
+TEST_F(TypingTest, Functions) {
+  VarId dot = vars_.Fresh("dot");
+  auto mk = [&](CoreFn fn) {
+    std::vector<CoreExprPtr> args;
+    args.push_back(MakeStep(dot, Axis::kChild, NodeTest::AnyName()));
+    return MakeFnCall(fn, std::move(args));
+  };
+  EXPECT_EQ(TypeOf(mk(CoreFn::kCount)), AbstractType::kNumeric);
+  EXPECT_EQ(TypeOf(mk(CoreFn::kBoolean)), AbstractType::kBoolean);
+  EXPECT_EQ(TypeOf(mk(CoreFn::kExists)), AbstractType::kBoolean);
+  EXPECT_EQ(TypeOf(mk(CoreFn::kRoot)), AbstractType::kNodes);
+}
+
+TEST_F(TypingTest, GlobalsDefaultToNodes) {
+  VarId g = vars_.Global("d");
+  EXPECT_EQ(TypeOf(MakeVar(g)), AbstractType::kNodes);
+}
+
+TEST_F(TypingTest, LetAndForPropagate) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  // let $x := fn:count($d) return $x  : numeric
+  std::vector<CoreExprPtr> args;
+  args.push_back(MakeVar(g));
+  auto e = MakeLet(x, MakeFnCall(CoreFn::kCount, std::move(args)), MakeVar(x));
+  EXPECT_EQ(TypeOf(e), AbstractType::kNumeric);
+
+  // for $y in $d return $y : nodes
+  VarId y = vars_.Fresh("y");
+  auto f = MakeFor(y, kNoVar, MakeVar(g), nullptr, MakeVar(y));
+  EXPECT_EQ(InferType(*f, vars_, env_), AbstractType::kNodes);
+}
+
+TEST_F(TypingTest, PositionalVarIsNumeric) {
+  VarId g = vars_.Global("d");
+  VarId x = vars_.Fresh("x");
+  VarId p = vars_.Fresh("p");
+  auto f = MakeFor(x, p, MakeVar(g), nullptr, MakeVar(p));
+  EXPECT_EQ(InferType(*f, vars_, env_), AbstractType::kNumeric);
+}
+
+TEST_F(TypingTest, CompareAndLogicAreBoolean) {
+  auto c = MakeCompare(xdm::CompareOp::kEq,
+                       MakeLiteral(xdm::Item(static_cast<int64_t>(1))),
+                       MakeLiteral(xdm::Item(static_cast<int64_t>(2))));
+  EXPECT_EQ(TypeOf(c), AbstractType::kBoolean);
+  auto a = MakeAnd(MakeLiteral(xdm::Item(true)), MakeLiteral(xdm::Item(false)));
+  EXPECT_EQ(TypeOf(a), AbstractType::kBoolean);
+}
+
+TEST_F(TypingTest, SequenceJoins) {
+  std::vector<CoreExprPtr> items;
+  items.push_back(MakeLiteral(xdm::Item(static_cast<int64_t>(1))));
+  items.push_back(MakeLiteral(xdm::Item(2.0)));
+  EXPECT_EQ(TypeOf(MakeSequence(std::move(items))), AbstractType::kNumeric);
+
+  std::vector<CoreExprPtr> mixed;
+  mixed.push_back(MakeLiteral(xdm::Item(static_cast<int64_t>(1))));
+  mixed.push_back(MakeLiteral(xdm::Item(std::string("s"))));
+  EXPECT_EQ(TypeOf(MakeSequence(std::move(mixed))), AbstractType::kUnknown);
+}
+
+TEST_F(TypingTest, DefinitelyPredicates) {
+  EXPECT_TRUE(DefinitelyNotNumeric(AbstractType::kNodes));
+  EXPECT_TRUE(DefinitelyNotNumeric(AbstractType::kBoolean));
+  EXPECT_TRUE(DefinitelyNotNumeric(AbstractType::kString));
+  EXPECT_FALSE(DefinitelyNotNumeric(AbstractType::kNumeric));
+  EXPECT_FALSE(DefinitelyNotNumeric(AbstractType::kUnknown));
+  EXPECT_TRUE(DefinitelyNumeric(AbstractType::kNumeric));
+  EXPECT_FALSE(DefinitelyNumeric(AbstractType::kUnknown));
+}
+
+}  // namespace
+}  // namespace xqtp::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/engine.h"
+#include "workload/member_gen.h"
+#include "workload/variants.h"
+#include "workload/xmark_gen.h"
+
+namespace xqtp::workload {
+namespace {
+
+TEST(MemberGen, RespectsNodeCountAndDepth) {
+  StringInterner in;
+  MemberParams p;
+  p.node_count = 5000;
+  p.max_depth = 4;
+  p.num_tags = 100;
+  auto doc = GenerateMember(p, &in);
+  // node_count elements + 1 document node.
+  EXPECT_EQ(doc->node_count(), 5001u);
+  int max_depth = 0;
+  for (const xml::Node* n : doc->AllElements()) {
+    max_depth = std::max(max_depth, n->depth);
+  }
+  EXPECT_LE(max_depth, 4);
+  EXPECT_GE(max_depth, 3);  // the tree should actually use its depth
+}
+
+TEST(MemberGen, UniformTagsAllUsed) {
+  StringInterner in;
+  MemberParams p;
+  p.node_count = 20000;
+  p.num_tags = 100;
+  auto doc = GenerateMember(p, &in);
+  // With 20000 uniform draws over 100 tags, each tag appears.
+  for (int t = 1; t <= 100; ++t) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "t%02d", t);
+    Symbol s = in.Lookup(buf);
+    ASSERT_NE(s, kInvalidSymbol) << buf;
+    EXPECT_FALSE(doc->ElementsByTag(s).empty()) << buf;
+  }
+}
+
+TEST(MemberGen, SingleTagDeepDocument) {
+  StringInterner in;
+  MemberParams p;
+  p.node_count = 50000;
+  p.max_depth = 15;
+  p.num_tags = 1;
+  auto doc = GenerateMember(p, &in);
+  Symbol t1 = in.Lookup("t1");
+  ASSERT_NE(t1, kInvalidSymbol);
+  EXPECT_EQ(doc->ElementsByTag(t1).size(), 50000u);
+  int max_depth = 0;
+  for (const xml::Node* n : doc->AllElements()) {
+    max_depth = std::max(max_depth, n->depth);
+  }
+  EXPECT_EQ(max_depth, 15);
+}
+
+TEST(MemberGen, Deterministic) {
+  StringInterner in1, in2;
+  MemberParams p;
+  p.node_count = 1000;
+  auto d1 = GenerateMember(p, &in1);
+  auto d2 = GenerateMember(p, &in2);
+  ASSERT_EQ(d1->AllElements().size(), d2->AllElements().size());
+  for (size_t i = 0; i < d1->AllElements().size(); ++i) {
+    EXPECT_EQ(in1.NameOf(d1->AllElements()[i]->name),
+              in2.NameOf(d2->AllElements()[i]->name));
+  }
+}
+
+TEST(MemberGen, SizeEstimation) {
+  int nodes = NodeCountForBytes(2100 * 1024);
+  EXPECT_GT(nodes, 100000);
+  size_t bytes = ApproxSerializedBytes(nodes);
+  EXPECT_NEAR(static_cast<double>(bytes), 2100 * 1024.0, 64.0);
+}
+
+TEST(XmarkGen, StructureMatchesSchema) {
+  engine::Engine e;
+  XmarkParams p;
+  p.factor = 0.05;
+  const xml::Document* d =
+      e.AddDocument("x", GenerateXmark(p, e.interner()));
+
+  auto count = [&](const std::string& q) -> int64_t {
+    auto res = e.Run("fn:count(" + q + ")", *d);
+    EXPECT_TRUE(res.ok()) << q << ": " << res.status().ToString();
+    return res.ok() ? (*res)[0].integer() : -1;
+  };
+  int64_t persons = count("$input/site/people/person");
+  EXPECT_GT(persons, 50);
+  // ~80% of persons have an emailaddress.
+  int64_t with_email = count("$input/site/people/person[emailaddress]");
+  EXPECT_GT(with_email, persons / 2);
+  EXPECT_LT(with_email, persons);
+  EXPECT_GT(count("$input/site/regions/*/item"), 0);
+  EXPECT_GT(count("$input/site/open_auctions/open_auction"), 0);
+  EXPECT_GT(count("$input/site/closed_auctions/closed_auction/price"), 0);
+  EXPECT_GT(count("$input/site/people/person/profile/interest"), 0);
+  // name elements appear under person, item and category only — never
+  // nested within one another (keeps child->descendant rewrites
+  // semantics-preserving for Figure 6).
+  int64_t names = count("$input//name");
+  int64_t name_in_name = count("$input//name//name");
+  EXPECT_GT(names, 0);
+  EXPECT_EQ(name_in_name, 0);
+}
+
+TEST(Variants, TwentyDistinctVariants) {
+  std::vector<std::string> v = GeneratePathVariants(20);
+  ASSERT_EQ(v.size(), 20u);
+  std::set<std::string> distinct(v.begin(), v.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  // First is the plain path.
+  EXPECT_EQ(v[0],
+            "$input/site/people/person[emailaddress]/profile/interest");
+  // Some variant uses a where clause.
+  bool has_where = false;
+  for (const std::string& q : v) {
+    if (q.find("where") != std::string::npos) has_where = true;
+  }
+  EXPECT_TRUE(has_where);
+}
+
+TEST(Variants, AllParseAndEvaluateEqually) {
+  engine::Engine e;
+  XmarkParams p;
+  p.factor = 0.02;
+  const xml::Document* d = e.AddDocument("x", GenerateXmark(p, e.interner()));
+  std::vector<std::string> variants = GeneratePathVariants(20);
+  auto reference = e.Run(variants[0], *d);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+  for (const std::string& q : variants) {
+    auto res = e.Run(q, *d);
+    ASSERT_TRUE(res.ok()) << q << ": " << res.status().ToString();
+    ASSERT_EQ(res->size(), reference->size()) << q;
+    for (size_t i = 0; i < res->size(); ++i) {
+      EXPECT_TRUE((*res)[i] == (*reference)[i]) << q << " item " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::workload

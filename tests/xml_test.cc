@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xqtp::xml {
+namespace {
+
+TEST(DocumentBuilder, BuildsStructure) {
+  StringInterner interner;
+  DocumentBuilder b(&interner);
+  b.StartElement("a");
+  b.StartElement("b");
+  b.Text("hello");
+  b.EndElement();
+  b.StartElement("c");
+  b.EndElement();
+  b.EndElement();
+  auto doc = b.Finish();
+
+  const Node* root = doc->root();
+  ASSERT_TRUE(root->IsDocument());
+  const Node* a = root->first_child;
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(interner.NameOf(a->name), "a");
+  const Node* bn = a->first_child;
+  const Node* cn = bn->next_sibling;
+  EXPECT_EQ(interner.NameOf(bn->name), "b");
+  EXPECT_EQ(interner.NameOf(cn->name), "c");
+  EXPECT_EQ(cn->prev_sibling, bn);
+  EXPECT_EQ(bn->parent, a);
+}
+
+TEST(DocumentBuilder, PrePostEncoding) {
+  StringInterner interner;
+  DocumentBuilder b(&interner);
+  b.StartElement("a");
+  b.StartElement("b");
+  b.StartElement("d");
+  b.EndElement();
+  b.EndElement();
+  b.StartElement("c");
+  b.EndElement();
+  b.EndElement();
+  auto doc = b.Finish();
+
+  const Node* a = doc->root()->first_child;
+  const Node* bn = a->first_child;
+  const Node* d = bn->first_child;
+  const Node* c = bn->next_sibling;
+
+  // Preorder: doc(0) a(1) b(2) d(3) c(4).
+  EXPECT_EQ(a->pre, 1);
+  EXPECT_EQ(bn->pre, 2);
+  EXPECT_EQ(d->pre, 3);
+  EXPECT_EQ(c->pre, 4);
+  // Region containment: ancestor test.
+  EXPECT_TRUE(a->IsAncestorOf(*d));
+  EXPECT_TRUE(bn->IsAncestorOf(*d));
+  EXPECT_FALSE(c->IsAncestorOf(*d));
+  EXPECT_FALSE(d->IsAncestorOf(*bn));
+  // Depth.
+  EXPECT_EQ(a->depth, 1);
+  EXPECT_EQ(d->depth, 3);
+}
+
+TEST(DocumentBuilder, AttributeEncodingIsNotAncestorOfChildren) {
+  StringInterner interner;
+  DocumentBuilder b(&interner);
+  b.StartElement("a");
+  b.Attribute("id", "1");
+  b.StartElement("b");
+  b.EndElement();
+  b.EndElement();
+  auto doc = b.Finish();
+
+  const Node* a = doc->root()->first_child;
+  const Node* attr = a->attributes[0];
+  const Node* bn = a->first_child;
+  EXPECT_TRUE(a->IsAncestorOf(*attr));
+  EXPECT_FALSE(attr->IsAncestorOf(*bn));
+  EXPECT_LT(attr->pre, bn->pre);  // attributes precede children in doc order
+}
+
+TEST(Parser, ParsesElementsAttributesText) {
+  StringInterner interner;
+  auto res = Parse("<a id=\"1\"><b>hi &amp; bye</b><c/></a>", &interner);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Document& doc = **res;
+  const Node* a = doc.root()->first_child;
+  EXPECT_EQ(interner.NameOf(a->name), "a");
+  ASSERT_EQ(a->attributes.size(), 1u);
+  EXPECT_EQ(a->attributes[0]->text, "1");
+  const Node* b = a->first_child;
+  EXPECT_EQ(b->StringValue(), "hi & bye");
+}
+
+TEST(Parser, SkipsCommentsPIsDoctype) {
+  StringInterner interner;
+  auto res = Parse(
+      "<?xml version=\"1.0\"?><!DOCTYPE a><!-- c --><a><!-- x --><b/></a>",
+      &interner);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Node* a = res.value()->root()->first_child;
+  EXPECT_EQ(interner.NameOf(a->name), "a");
+  EXPECT_EQ(interner.NameOf(a->first_child->name), "b");
+}
+
+TEST(Parser, CdataAndNumericEntities) {
+  StringInterner interner;
+  auto res = Parse("<a><![CDATA[<raw>]]>&#65;</a>", &interner);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value()->root()->first_child->StringValue(), "<raw>A");
+}
+
+TEST(Parser, RejectsMismatchedTags) {
+  StringInterner interner;
+  auto res = Parse("<a><b></a></b>", &interner);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, RejectsTrailingContent) {
+  StringInterner interner;
+  EXPECT_FALSE(Parse("<a/><b/>", &interner).ok());
+}
+
+TEST(Serializer, RoundTrips) {
+  StringInterner interner;
+  std::string xml = "<a id=\"1\"><b>hi</b><c/></a>";
+  auto res = Parse(xml, &interner);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Serialize(res.value()->root()), xml);
+}
+
+TEST(TagIndex, DocumentOrderAndLazy) {
+  StringInterner interner;
+  auto res = Parse("<a><b/><c><b/></c><b/></a>", &interner);
+  ASSERT_TRUE(res.ok());
+  const Document& doc = **res;
+  Symbol b = interner.Lookup("b");
+  const auto& bs = doc.ElementsByTag(b);
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_LT(bs[0]->pre, bs[1]->pre);
+  EXPECT_LT(bs[1]->pre, bs[2]->pre);
+  // Unknown tag: empty stream.
+  EXPECT_TRUE(doc.ElementsByTag(interner.Intern("zzz")).empty());
+}
+
+TEST(TagIndex, AllNodesIncludesDocElementText) {
+  StringInterner interner;
+  auto res = Parse("<a>t<b/></a>", &interner);
+  ASSERT_TRUE(res.ok());
+  const auto& all = res.value()->AllNodes();
+  // document, a, text, b
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_TRUE(all[0]->IsDocument());
+  EXPECT_TRUE(all[2]->IsText());
+}
+
+TEST(StringValue, ConcatenatesDescendantText) {
+  StringInterner interner;
+  auto res = Parse("<a>x<b>y</b>z</a>", &interner);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value()->root()->StringValue(), "xyz");
+}
+
+}  // namespace
+}  // namespace xqtp::xml
