@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gtp.dir/bench_gtp.cc.o"
+  "CMakeFiles/bench_gtp.dir/bench_gtp.cc.o.d"
+  "bench_gtp"
+  "bench_gtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

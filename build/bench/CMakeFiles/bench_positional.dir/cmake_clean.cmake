@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_positional.dir/bench_positional.cc.o"
+  "CMakeFiles/bench_positional.dir/bench_positional.cc.o.d"
+  "bench_positional"
+  "bench_positional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_positional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shredded.dir/bench_shredded.cc.o"
+  "CMakeFiles/bench_shredded.dir/bench_shredded.cc.o.d"
+  "bench_shredded"
+  "bench_shredded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shredded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twig_variants.dir/bench_twig_variants.cc.o"
+  "CMakeFiles/bench_twig_variants.dir/bench_twig_variants.cc.o.d"
+  "bench_twig_variants"
+  "bench_twig_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twig_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_picker.dir/algorithm_picker.cpp.o"
+  "CMakeFiles/algorithm_picker.dir/algorithm_picker.cpp.o.d"
+  "algorithm_picker"
+  "algorithm_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_counters.dir/work_counters.cpp.o"
+  "CMakeFiles/work_counters.dir/work_counters.cpp.o.d"
+  "work_counters"
+  "work_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_analytics.dir/xmark_analytics.cpp.o"
+  "CMakeFiles/xmark_analytics.dir/xmark_analytics.cpp.o.d"
+  "xmark_analytics"
+  "xmark_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

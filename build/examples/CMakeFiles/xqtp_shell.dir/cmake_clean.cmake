@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqtp_shell.dir/xqtp_shell.cpp.o"
+  "CMakeFiles/xqtp_shell.dir/xqtp_shell.cpp.o.d"
+  "xqtp_shell"
+  "xqtp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqtp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

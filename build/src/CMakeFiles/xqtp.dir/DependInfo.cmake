@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/compile.cc" "src/CMakeFiles/xqtp.dir/algebra/compile.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/algebra/compile.cc.o.d"
+  "/root/repo/src/algebra/dot.cc" "src/CMakeFiles/xqtp.dir/algebra/dot.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/algebra/dot.cc.o.d"
+  "/root/repo/src/algebra/ops.cc" "src/CMakeFiles/xqtp.dir/algebra/ops.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/algebra/ops.cc.o.d"
+  "/root/repo/src/algebra/optimize.cc" "src/CMakeFiles/xqtp.dir/algebra/optimize.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/algebra/optimize.cc.o.d"
+  "/root/repo/src/algebra/printer.cc" "src/CMakeFiles/xqtp.dir/algebra/printer.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/algebra/printer.cc.o.d"
+  "/root/repo/src/common/exec_stats.cc" "src/CMakeFiles/xqtp.dir/common/exec_stats.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/common/exec_stats.cc.o.d"
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/xqtp.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/common/interner.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xqtp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/common/status.cc.o.d"
+  "/root/repo/src/core/ast.cc" "src/CMakeFiles/xqtp.dir/core/ast.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/ast.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/xqtp.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/odf.cc" "src/CMakeFiles/xqtp.dir/core/odf.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/odf.cc.o.d"
+  "/root/repo/src/core/printer.cc" "src/CMakeFiles/xqtp.dir/core/printer.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/printer.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/CMakeFiles/xqtp.dir/core/rewrite.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/rewrite.cc.o.d"
+  "/root/repo/src/core/typing.cc" "src/CMakeFiles/xqtp.dir/core/typing.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/core/typing.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/xqtp.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/engine/engine.cc.o.d"
+  "/root/repo/src/exec/core_interp.cc" "src/CMakeFiles/xqtp.dir/exec/core_interp.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/core_interp.cc.o.d"
+  "/root/repo/src/exec/cost_model.cc" "src/CMakeFiles/xqtp.dir/exec/cost_model.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/xqtp.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/fn_lib.cc" "src/CMakeFiles/xqtp.dir/exec/fn_lib.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/fn_lib.cc.o.d"
+  "/root/repo/src/exec/nl_pattern.cc" "src/CMakeFiles/xqtp.dir/exec/nl_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/nl_pattern.cc.o.d"
+  "/root/repo/src/exec/staircase_pattern.cc" "src/CMakeFiles/xqtp.dir/exec/staircase_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/staircase_pattern.cc.o.d"
+  "/root/repo/src/exec/stream_pattern.cc" "src/CMakeFiles/xqtp.dir/exec/stream_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/stream_pattern.cc.o.d"
+  "/root/repo/src/exec/tuple.cc" "src/CMakeFiles/xqtp.dir/exec/tuple.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/tuple.cc.o.d"
+  "/root/repo/src/exec/twig_pattern.cc" "src/CMakeFiles/xqtp.dir/exec/twig_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/twig_pattern.cc.o.d"
+  "/root/repo/src/exec/twigstack_pattern.cc" "src/CMakeFiles/xqtp.dir/exec/twigstack_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/exec/twigstack_pattern.cc.o.d"
+  "/root/repo/src/pattern/tree_pattern.cc" "src/CMakeFiles/xqtp.dir/pattern/tree_pattern.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/pattern/tree_pattern.cc.o.d"
+  "/root/repo/src/storage/node_table.cc" "src/CMakeFiles/xqtp.dir/storage/node_table.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/storage/node_table.cc.o.d"
+  "/root/repo/src/workload/member_gen.cc" "src/CMakeFiles/xqtp.dir/workload/member_gen.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/workload/member_gen.cc.o.d"
+  "/root/repo/src/workload/variants.cc" "src/CMakeFiles/xqtp.dir/workload/variants.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/workload/variants.cc.o.d"
+  "/root/repo/src/workload/xmark_gen.cc" "src/CMakeFiles/xqtp.dir/workload/xmark_gen.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/workload/xmark_gen.cc.o.d"
+  "/root/repo/src/workload/xmark_queries.cc" "src/CMakeFiles/xqtp.dir/workload/xmark_queries.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/workload/xmark_queries.cc.o.d"
+  "/root/repo/src/xdm/item.cc" "src/CMakeFiles/xqtp.dir/xdm/item.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xdm/item.cc.o.d"
+  "/root/repo/src/xdm/sequence_ops.cc" "src/CMakeFiles/xqtp.dir/xdm/sequence_ops.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xdm/sequence_ops.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xqtp.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/index.cc" "src/CMakeFiles/xqtp.dir/xml/index.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xml/index.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xqtp.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xqtp.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xqtp.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/xqtp.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/xqtp.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/xqtp.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/xqtp.dir/xquery/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

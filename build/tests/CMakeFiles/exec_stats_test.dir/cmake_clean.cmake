@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_stats_test.dir/exec_stats_test.cc.o"
+  "CMakeFiles/exec_stats_test.dir/exec_stats_test.cc.o.d"
+  "exec_stats_test"
+  "exec_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

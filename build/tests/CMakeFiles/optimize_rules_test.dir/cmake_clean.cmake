@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_rules_test.dir/optimize_rules_test.cc.o"
+  "CMakeFiles/optimize_rules_test.dir/optimize_rules_test.cc.o.d"
+  "optimize_rules_test"
+  "optimize_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

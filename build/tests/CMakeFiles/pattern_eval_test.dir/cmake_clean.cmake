@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_eval_test.dir/pattern_eval_test.cc.o"
+  "CMakeFiles/pattern_eval_test.dir/pattern_eval_test.cc.o.d"
+  "pattern_eval_test"
+  "pattern_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/positional_test.dir/positional_test.cc.o"
+  "CMakeFiles/positional_test.dir/positional_test.cc.o.d"
+  "positional_test"
+  "positional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/positional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_robustness_test.dir/rewrite_robustness_test.cc.o"
+  "CMakeFiles/rewrite_robustness_test.dir/rewrite_robustness_test.cc.o.d"
+  "rewrite_robustness_test"
+  "rewrite_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_robustness_test.dir/xml_robustness_test.cc.o"
+  "CMakeFiles/xml_robustness_test.dir/xml_robustness_test.cc.o.d"
+  "xml_robustness_test"
+  "xml_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
