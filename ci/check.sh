@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI gate: builds the library twice and runs the full test suite under
+# each configuration.
+#
+#  1. Release — the tier-1 configuration (ROADMAP.md): the paper's
+#     benchmark numbers come from this build, so it must stay green and
+#     warning-clean.
+#  2. Debug + ASan/UBSan — analysis::kVerifyByDefault is on without
+#     NDEBUG, so every test additionally runs the Core and plan verifiers
+#     at each rewrite checkpoint, with the sanitizers watching the
+#     verifiers themselves.
+#
+# Usage: ci/check.sh [jobs]   (defaults to all cores)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@" > /dev/null
+  echo "==== [$name] build ===="
+  local log
+  log="$(mktemp)"
+  # -Wall -Wextra are always on; fail the gate on any diagnostic.
+  if ! cmake --build "$dir" -j "$JOBS" 2>&1 | tee "$log"; then
+    rm -f "$log"
+    echo "==== [$name] BUILD FAILED ===="
+    exit 1
+  fi
+  if grep -E "warning:|error:" "$log"; then
+    rm -f "$log"
+    echo "==== [$name] FAILED: compiler diagnostics above ===="
+    exit 1
+  fi
+  rm -f "$log"
+  echo "==== [$name] test ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config release build-ci-release \
+  -DCMAKE_BUILD_TYPE=Release -DXQTP_WERROR=ON
+
+run_config debug-sanitize build-ci-sanitize \
+  -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \
+  "-DXQTP_SANITIZE=address;undefined"
+
+echo "==== all checks passed ===="

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/plan_verifier.h"
+
 namespace xqtp::algebra {
 
 namespace {
@@ -47,6 +49,42 @@ bool MainPathChildLike(const pattern::TreePattern& tp) {
     }
   }
   return true;
+}
+
+void CollectAnnotatedSteps(pattern::PatternNode* n,
+                           std::vector<pattern::PatternNode*>* out) {
+  if (n == nullptr) return;
+  if (n->output != kInvalidSymbol) out->push_back(n);
+  for (const pattern::PatternNodePtr& p : n->predicates) {
+    CollectAnnotatedSteps(p.get(), out);
+  }
+  CollectAnnotatedSteps(n->next.get(), out);
+}
+
+/// Restores output-field uniqueness after a pattern merge (rules (d) and
+/// (d')): rule (c) canonicalizes each cascaded pattern's output to its
+/// MapFromItem field, so merging often stacks two steps annotated with the
+/// same name. In the cascade the deeper pattern's binding overwrote the
+/// field, so the deepest annotated step keeps the public name; shallower
+/// duplicates stay annotated (the multi-output enumeration semantics need
+/// them) but move to reserved "%merged" names no reader can reference.
+void DedupOutputFields(pattern::TreePattern* tp, StringInterner* interner) {
+  std::vector<pattern::PatternNode*> annotated;
+  CollectAnnotatedSteps(tp->root.get(), &annotated);
+  FieldSet used;
+  used.insert(tp->input_field);
+  for (const pattern::PatternNode* n : annotated) used.insert(n->output);
+  FieldSet seen;
+  for (auto it = annotated.rbegin(); it != annotated.rend(); ++it) {
+    if (seen.insert((*it)->output).second) continue;
+    int k = 0;
+    Symbol fresh;
+    do {
+      fresh = interner->Intern("%merged" + std::to_string(k++));
+    } while (used.count(fresh) != 0);
+    used.insert(fresh);
+    (*it)->output = fresh;
+  }
 }
 
 /// True iff field `f` of every tuple produced by `op` is a single item —
@@ -217,6 +255,8 @@ class Optimizer {
     if (n.kind == OpKind::kMapToItem && n.dep->kind == OpKind::kTreeJoin &&
         n.dep->inputs[0]->kind == OpKind::kFieldAccess &&
         AxisAllowedInPattern(n.dep->axis)) {
+      analysis::VerifyScope scope("optimize rule (b)");
+      scope.MarkFired();
       Symbol in_field = n.dep->inputs[0]->field;
       Symbol out = FreshField();
       OpPtr ttp = MakeOp(OpKind::kTupleTreePattern);
@@ -234,6 +274,8 @@ class Optimizer {
     if (n.kind == OpKind::kTreeJoin &&
         n.inputs[0]->kind == OpKind::kFieldAccess &&
         AxisAllowedInPattern(n.axis)) {
+      analysis::VerifyScope scope("optimize rule (a)");
+      scope.MarkFired();
       Symbol in_field = n.inputs[0]->field;
       Symbol out = FreshField();
       OpPtr ttp = MakeOp(OpKind::kTupleTreePattern);
@@ -260,6 +302,8 @@ class Optimizer {
         Op& ttp = *map.inputs[0];
         std::vector<Symbol> outs = ttp.tp.OutputFields();
         if (outs.size() == 1 && outs[0] == map.dep->field) {
+          analysis::VerifyScope scope("optimize rule (c)");
+          scope.MarkFired();
           pattern::RenameOutput(&ttp.tp, outs[0], n.field);
           OpPtr repl = std::move(n.inputs[0]->inputs[0]);
           *op = std::move(repl);
@@ -282,6 +326,8 @@ class Optimizer {
       if (map.dep->kind == OpKind::kFieldAccess &&
           map.dep->field == n.field &&
           SingletonField(*map.inputs[0], n.field)) {
+        analysis::VerifyScope scope("optimize clean-up (map round-trip)");
+        scope.MarkFired();
         OpPtr repl = std::move(map.inputs[0]);
         *op = std::move(repl);
         *changed = true;
@@ -312,8 +358,11 @@ class Optimizer {
         }
         if (n.tp.input_field == inner_out &&
             (live.count(inner_out) == 0 || outer_shadows)) {
+          analysis::VerifyScope scope("optimize rule (d)");
+          scope.MarkFired();
           pattern::TreePattern merged = inner.tp.Clone();
           pattern::AppendPath(&merged, std::move(n.tp));
+          DedupOutputFields(&merged, interner_);
           inner.tp = std::move(merged);
           OpPtr repl = std::move(n.inputs[0]);
           *op = std::move(repl);
@@ -338,8 +387,11 @@ class Optimizer {
           !n.tp.HasPositionalSteps() && !inner.tp.HasPositionalSteps()) {
         Symbol inner_out = inner_ep->output;
         if (n.tp.input_field == inner_out) {
+          analysis::VerifyScope scope("optimize rule (d')");
+          scope.MarkFired();
           pattern::TreePattern merged = inner.tp.Clone();
           pattern::AppendPathKeepOutput(&merged, std::move(n.tp));
+          DedupOutputFields(&merged, interner_);
           inner.tp = std::move(merged);
           OpPtr repl = std::move(n.inputs[0]);
           *op = std::move(repl);
@@ -369,6 +421,8 @@ class Optimizer {
           pred_ttps.push_back(ttp);
         }
         if (all_match) {
+          analysis::VerifyScope scope("optimize rule (e)");
+          scope.MarkFired();
           for (Op* p : pred_ttps) {
             pattern::AttachPredicate(&inner.tp, std::move(p->tp));
           }
@@ -391,6 +445,8 @@ class Optimizer {
         if (ttp.tp.SingleOutputAtExtractionPoint() &&
             ttp.tp.OutputFields()[0] == map.dep->field &&
             ProducesAtMostOneTuple(*ttp.inputs[0])) {
+          analysis::VerifyScope scope("optimize rule (f)");
+          scope.MarkFired();
           OpPtr repl = std::move(n.inputs[0]);
           *op = std::move(repl);
           *changed = true;
@@ -432,6 +488,8 @@ class Optimizer {
         if (ttp.tp.StepCount() == 1 && ttp.tp.root->position == 0 &&
             ttp.tp.root->predicates.empty() && outs.size() == 1 &&
             outs[0] == map.dep->field) {
+          analysis::VerifyScope scope("optimize rule (g)");
+          scope.MarkFired();
           ttp.tp.root->position = static_cast<int>(k);
           OpPtr repl = std::move(n.inputs[0]);
           *op = std::move(repl);
@@ -467,6 +525,8 @@ class Optimizer {
           (bottom->kind == OpKind::kTupleTreePattern ||
            bottom->kind == OpKind::kSelect);
       if (pipeline_ok) {
+        analysis::VerifyScope scope("optimize clean-up (pipeline re-root)");
+        scope.MarkFired();
         bottom->inputs[0] = std::move(n.inputs[0]);
         OpPtr repl = std::move(n.dep);
         *op = std::move(repl);
@@ -483,6 +543,8 @@ class Optimizer {
       Op& from = *n.inputs[0];
       if (from.dep && from.dep->kind == OpKind::kInputItem &&
           from.field == n.dep->field) {
+        analysis::VerifyScope scope("optimize clean-up (map identity)");
+        scope.MarkFired();
         OpPtr repl = std::move(from.inputs[0]);
         *op = std::move(repl);
         *changed = true;
@@ -549,14 +611,30 @@ class FieldCanonicalizer {
 Status Optimize(OpPtr* plan, StringInterner* interner,
                 const OptimizeOptions& opts) {
   if (!opts.detect_tree_patterns) return Status::OK();
+  analysis::PlanVerifyOptions vopts;
+  vopts.allow_multi_output = opts.multi_output_patterns;
+  vopts.vars = opts.vars;
+  vopts.interner = interner;
   Optimizer optimizer(interner, opts);
   for (int round = 0; round < opts.max_rounds; ++round) {
     bool changed = false;
     optimizer.RunRound(plan, &changed);
+    // Checkpoint: a violation here is attributed to the rules that fired
+    // in this round (the VerifyScope trail).
+    if (changed && opts.verify) {
+      XQTP_RETURN_NOT_OK(analysis::VerifyPlan(**plan, vopts));
+    }
     if (!changed) break;
   }
-  FieldCanonicalizer canon(interner);
-  canon.Run(plan->get());
+  {
+    analysis::VerifyScope scope("optimize: field canonicalization");
+    FieldCanonicalizer canon(interner);
+    canon.Run(plan->get());
+    if (opts.verify) {
+      scope.MarkFired();
+      XQTP_RETURN_NOT_OK(analysis::VerifyPlan(**plan, vopts));
+    }
+  }
   return Status::OK();
 }
 

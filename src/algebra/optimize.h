@@ -21,6 +21,7 @@
 #define XQTP_ALGEBRA_OPTIMIZE_H_
 
 #include "algebra/ops.h"
+#include "analysis/verify_scope.h"
 #include "common/status.h"
 
 namespace xqtp::algebra {
@@ -43,6 +44,13 @@ struct OptimizeOptions {
   /// plan shapes.
   bool positional_patterns = false;
   int max_rounds = 64;
+  /// Run analysis::VerifyPlan after every fixpoint round that changed the
+  /// plan (and after field canonicalization); a violation is attributed
+  /// to the rules that fired in that round. On by default in Debug
+  /// builds.
+  bool verify = analysis::kVerifyByDefault;
+  /// Enables the verifier's global-variable checks when supplied.
+  const core::VarTable* vars = nullptr;
 };
 
 /// Rewrites `plan` in place. Field names are canonicalized afterwards

@@ -1,0 +1,60 @@
+#include "analysis/verify_scope.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xqtp::analysis {
+
+namespace {
+
+// Thread-local so concurrent engines (concurrency_test) attribute rules
+// independently.
+thread_local std::vector<const char*> g_scope_stack;
+thread_local std::vector<const char*> g_fired;
+
+}  // namespace
+
+VerifyScope::VerifyScope(const char* rule) : rule_(rule) {
+  g_scope_stack.push_back(rule_);
+}
+
+VerifyScope::~VerifyScope() { g_scope_stack.pop_back(); }
+
+void VerifyScope::MarkFired() {
+  // Rules fire many times per round; keep the trail duplicate-free.
+  if (std::find(g_fired.begin(), g_fired.end(), rule_) == g_fired.end()) {
+    g_fired.push_back(rule_);
+  }
+}
+
+const char* VerifyScope::Current() {
+  return g_scope_stack.empty() ? "" : g_scope_stack.back();
+}
+
+std::string VerifyScope::FiredTrail() {
+  std::string out;
+  for (const char* r : g_fired) {
+    if (!out.empty()) out += ", ";
+    out += r;
+  }
+  return out;
+}
+
+void VerifyScope::ClearFiredTrail() { g_fired.clear(); }
+
+Status VerifyScope::Tag(Status s) {
+  if (s.ok()) return s;
+  std::string msg = s.message();
+  if (!g_scope_stack.empty()) {
+    msg += " [in ";
+    msg += g_scope_stack.back();
+    msg += "]";
+  }
+  std::string trail = FiredTrail();
+  if (!trail.empty()) {
+    msg += " [after: " + trail + "]";
+  }
+  return Status(s.code(), std::move(msg));
+}
+
+}  // namespace xqtp::analysis

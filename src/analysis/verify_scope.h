@@ -1,0 +1,61 @@
+// Rule-name threading for the plan/Core verifiers, modeled on LLVM's
+// approach of attributing verifier failures to the pass that broke the IR.
+//
+// Every rewrite-rule application site constructs a VerifyScope naming the
+// rule and calls MarkFired() when the rule actually changes the tree. The
+// verifiers run at checkpoints (after a rewrite family, after an optimize
+// round); a failure there is tagged with the innermost active scope plus
+// the trail of rules fired since the last successful checkpoint, so a
+// broken plan is pinpointed to the exact rule that produced it.
+#ifndef XQTP_ANALYSIS_VERIFY_SCOPE_H_
+#define XQTP_ANALYSIS_VERIFY_SCOPE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xqtp::analysis {
+
+/// Verification default: on in Debug builds, off in Release (the tier-1
+/// Release build keeps the paper's benchmark numbers unperturbed; the CI
+/// Debug + sanitizer build runs every test under full verification).
+#ifndef NDEBUG
+inline constexpr bool kVerifyByDefault = true;
+#else
+inline constexpr bool kVerifyByDefault = false;
+#endif
+
+/// RAII scope naming the rewrite rule currently executing.
+class VerifyScope {
+ public:
+  explicit VerifyScope(const char* rule);
+  ~VerifyScope();
+
+  VerifyScope(const VerifyScope&) = delete;
+  VerifyScope& operator=(const VerifyScope&) = delete;
+
+  /// Records that the named rule actually changed the tree: the rule name
+  /// is appended to the fired trail reported by the next failing (and
+  /// cleared by the next succeeding) verification checkpoint.
+  void MarkFired();
+
+  /// The innermost active rule name, or "" outside any scope.
+  static const char* Current();
+
+  /// Rules fired since the last checkpoint, joined with ", ".
+  static std::string FiredTrail();
+
+  /// Clears the fired trail (a checkpoint passed).
+  static void ClearFiredTrail();
+
+  /// Annotates a non-OK status with the active scope and fired trail:
+  /// "<msg> [in <rule>] [after: <rule>, <rule>]".
+  static Status Tag(Status s);
+
+ private:
+  const char* rule_;
+};
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_VERIFY_SCOPE_H_

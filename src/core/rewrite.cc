@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "analysis/core_verifier.h"
 #include "core/odf.h"
 #include "core/typing.h"
 
@@ -346,24 +347,54 @@ void LoopSplit(CoreExprPtr* e, bool* changed) {
 
 Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
                                   const RewriteOptions& opts) {
+  // Verifies the tree after a rule family changed it, attributing any
+  // violation to that family via the ambient VerifyScope.
+  auto checkpoint = [&](analysis::VerifyScope* scope, bool fam_changed,
+                        bool* changed) -> Status {
+    if (!fam_changed) return Status::OK();
+    scope->MarkFired();
+    *changed = true;
+    if (!opts.verify) return Status::OK();
+    return analysis::VerifyCore(*e, *vars);
+  };
   for (int round = 0; round < opts.max_rounds; ++round) {
     bool changed = false;
     if (opts.typeswitch_rules) {
+      analysis::VerifyScope scope("core rewrite: typeswitch rules");
       TypeEnv tenv;
-      TypeSimplify(&e, *vars, &tenv, &changed);
+      bool fam = false;
+      TypeSimplify(&e, *vars, &tenv, &fam);
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
     }
     if (opts.flwor_rules) {
+      analysis::VerifyScope scope("core rewrite: FLWOR rules");
       SingletonSet singletons;
-      FlworSimplify(&e, &singletons, &changed);
+      bool fam = false;
+      FlworSimplify(&e, &singletons, &fam);
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
     }
     if (opts.ddo_removal) {
+      analysis::VerifyScope scope("core rewrite: ddo removal");
       OdfEnv oenv;
-      StripDdo(&e, {false, false}, *vars, &oenv, &changed);
+      bool fam = false;
+      StripDdo(&e, {false, false}, *vars, &oenv, &fam);
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
     }
     if (opts.loop_split) {
-      LoopSplit(&e, &changed);
+      analysis::VerifyScope scope("core rewrite: loop split");
+      bool fam = false;
+      LoopSplit(&e, &fam);
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
     }
     if (!changed) break;
+  }
+  if (opts.verify) {
+    // Annotate the final tree with its derived ODF properties and verify
+    // once more: from here on any pass that restructures the Core tree
+    // while keeping a stale, too-strong annotation is caught.
+    AnnotateOdf(e.get(), *vars);
+    analysis::VerifyScope scope("core rewrite: final ODF annotation");
+    XQTP_RETURN_NOT_OK(analysis::VerifyCore(*e, *vars));
   }
   return e;
 }

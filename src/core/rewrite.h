@@ -16,6 +16,7 @@
 #ifndef XQTP_CORE_REWRITE_H_
 #define XQTP_CORE_REWRITE_H_
 
+#include "analysis/verify_scope.h"
 #include "common/status.h"
 #include "core/ast.h"
 
@@ -28,6 +29,11 @@ struct RewriteOptions {
   bool loop_split = true;
   /// Fixpoint bound; the rule system terminates far earlier in practice.
   int max_rounds = 64;
+  /// Run analysis::VerifyCore after every rule family that changed the
+  /// tree, and annotate + re-verify ODF properties at the end, so a rule
+  /// that breaks scoping or caches an unsound annotation is pinpointed.
+  /// On by default in Debug builds.
+  bool verify = analysis::kVerifyByDefault;
 };
 
 /// Rewrites `e` to TPNF'. Always terminates (bounded rounds); each round

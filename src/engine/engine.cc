@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
 #include "algebra/printer.h"
+#include "analysis/core_verifier.h"
+#include "analysis/plan_verifier.h"
 #include "core/printer.h"
 
 namespace xqtp::engine {
@@ -33,23 +35,41 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
   XQTP_ASSIGN_OR_RETURN(xquery::ExprPtr surface,
                         xquery::ParseQuery(query, &interner_));
   XQTP_ASSIGN_OR_RETURN(q.normalized_, core::Normalize(*surface, &q.vars_));
+  if (options_.verify_plans) {
+    // The normalizer has no cached ODF annotations yet, so only the
+    // structural invariants apply here.
+    analysis::VerifyScope scope("normalize");
+    scope.MarkFired();
+    XQTP_RETURN_NOT_OK(analysis::VerifyCore(*q.normalized_, q.vars_));
+  }
 
   if (opts.rewrite) {
+    core::RewriteOptions ropts = opts.rewrite_opts;
+    ropts.verify = options_.verify_plans;
     XQTP_ASSIGN_OR_RETURN(
         q.rewritten_,
-        core::RewriteToTPNF(core::Clone(*q.normalized_), &q.vars_,
-                            opts.rewrite_opts));
+        core::RewriteToTPNF(core::Clone(*q.normalized_), &q.vars_, ropts));
   } else {
     q.rewritten_ = core::Clone(*q.normalized_);
   }
 
   XQTP_ASSIGN_OR_RETURN(q.plan_,
                         algebra::Compile(*q.rewritten_, q.vars_, &interner_));
+  if (options_.verify_plans) {
+    analysis::VerifyScope scope("algebra compile");
+    scope.MarkFired();
+    analysis::PlanVerifyOptions vopts;
+    vopts.vars = &q.vars_;
+    vopts.interner = &interner_;
+    XQTP_RETURN_NOT_OK(analysis::VerifyPlan(*q.plan_, vopts));
+  }
   q.optimized_ = algebra::Clone(*q.plan_);
   algebra::OptimizeOptions oopts;
   oopts.detect_tree_patterns = opts.detect_tree_patterns;
   oopts.positional_patterns = opts.positional_patterns;
   oopts.multi_output_patterns = opts.multi_output_patterns;
+  oopts.verify = options_.verify_plans;
+  oopts.vars = &q.vars_;
   XQTP_RETURN_NOT_OK(algebra::Optimize(&q.optimized_, &interner_, oopts));
   return q;
 }

@@ -32,6 +32,15 @@
 
 namespace xqtp::engine {
 
+struct EngineOptions {
+  /// Run the static verifiers (analysis::VerifyCore after normalization
+  /// and rewriting, analysis::VerifyPlan after compilation and after each
+  /// optimizer round) on every query compiled through this engine. A
+  /// violation surfaces as Status::Internal tagged with the pass that
+  /// produced the broken tree. On by default in Debug builds.
+  bool verify_plans = analysis::kVerifyByDefault;
+};
+
 struct CompileOptions {
   /// Apply the TPNF' Core rewrites (phase 2). Off = each syntactic variant
   /// keeps its own shape.
@@ -93,6 +102,7 @@ enum class PlanChoice : uint8_t {
 class Engine {
  public:
   Engine() = default;
+  explicit Engine(const EngineOptions& options) : options_(options) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -135,6 +145,7 @@ class Engine {
   const StringInterner& interner() const { return interner_; }
 
  private:
+  EngineOptions options_;
   StringInterner interner_;
   std::map<std::string, std::unique_ptr<xml::Document>> docs_;
   int32_t next_doc_id_ = 0;

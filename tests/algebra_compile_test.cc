@@ -2,6 +2,7 @@
 
 #include "algebra/compile.h"
 #include "algebra/printer.h"
+#include "analysis/plan_verifier.h"
 #include "core/normalize.h"
 #include "core/rewrite.h"
 #include "xquery/parser.h"
@@ -17,11 +18,18 @@ class CompileTest : public ::testing::Test {
     vars_ = core::VarTable();
     auto c = core::Normalize(**surface, &vars_);
     EXPECT_TRUE(c.ok()) << c.status().ToString();
-    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, {});
+    core::RewriteOptions ropts;
+    ropts.verify = true;  // the Core verifier runs even in Release builds
+    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, ropts);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     auto plan = Compile(**r, vars_, &interner_);
     EXPECT_TRUE(plan.ok()) << plan.status().ToString();
     plan_ = std::move(plan).value();
+    analysis::PlanVerifyOptions vopts;
+    vopts.vars = &vars_;
+    vopts.interner = &interner_;
+    Status verified = analysis::VerifyPlan(*plan_, vopts);
+    EXPECT_TRUE(verified.ok()) << verified.ToString();
     return ToString(*plan_, vars_, interner_);
   }
 

@@ -63,7 +63,10 @@ class OptimizeRulesTest : public ::testing::Test {
 
   std::string Optimized(OpPtr plan) {
     OptimizeOptions opts;
-    EXPECT_TRUE(Optimize(&plan, &interner_, opts).ok());
+    opts.verify = true;  // the plan verifier runs even in Release builds
+    opts.vars = &vars_;
+    Status st = Optimize(&plan, &interner_, opts);
+    EXPECT_TRUE(st.ok()) << st.ToString();
     return ToString(*plan, vars_, interner_);
   }
 

@@ -18,14 +18,19 @@ class OptimizeTest : public ::testing::Test {
     vars_ = core::VarTable();
     auto c = core::Normalize(**surface, &vars_);
     EXPECT_TRUE(c.ok()) << c.status().ToString();
-    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, {});
+    core::RewriteOptions ropts;
+    ropts.verify = true;  // the Core verifier runs even in Release builds
+    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, ropts);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     auto plan = Compile(**r, vars_, &interner_);
     EXPECT_TRUE(plan.ok()) << plan.status().ToString();
     plan_ = std::move(plan).value();
     OptimizeOptions opts;
     opts.detect_tree_patterns = detect;
-    EXPECT_TRUE(Optimize(&plan_, &interner_, opts).ok());
+    opts.verify = true;  // the plan verifier runs even in Release builds
+    opts.vars = &vars_;
+    Status st = Optimize(&plan_, &interner_, opts);
+    EXPECT_TRUE(st.ok()) << st.ToString();
     return ToString(*plan_, vars_, interner_);
   }
 
@@ -133,7 +138,10 @@ TEST_F(OptimizeTest, FieldNamesAreCanonical) {
 TEST_F(OptimizeTest, OptimizeIsIdempotent) {
   std::string once = Optimized("$d//person[emailaddress]/name");
   OpPtr copy = Clone(*plan_);
-  EXPECT_TRUE(Optimize(&copy, &interner_, OptimizeOptions{}).ok());
+  OptimizeOptions opts;
+  opts.verify = true;
+  opts.vars = &vars_;
+  EXPECT_TRUE(Optimize(&copy, &interner_, opts).ok());
   EXPECT_EQ(ToString(*copy, vars_, interner_), once);
 }
 

@@ -1,0 +1,417 @@
+// The analysis subsystem against deliberately corrupted trees: every
+// invariant of the Core and plan verifiers must fire on a hand-built
+// violation and stay silent on the legal variant it was derived from.
+#include <gtest/gtest.h>
+
+#include "algebra/ops.h"
+#include "analysis/core_verifier.h"
+#include "analysis/plan_verifier.h"
+#include "analysis/verify_scope.h"
+#include "core/ast.h"
+#include "core/odf.h"
+#include "engine/engine.h"
+#include "pattern/tree_pattern.h"
+
+namespace xqtp {
+namespace {
+
+using algebra::MakeOp;
+using algebra::Op;
+using algebra::OpKind;
+using algebra::OpPtr;
+using pattern::PatternNode;
+using pattern::TreePattern;
+
+void ExpectViolation(const Status& st, const char* invariant) {
+  ASSERT_FALSE(st.ok()) << "expected a [" << invariant << "] violation";
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << st.ToString();
+  EXPECT_NE(st.message().find(std::string("[") + invariant + "]"),
+            std::string::npos)
+      << st.message();
+}
+
+// ---- plan verifier ---------------------------------------------------------
+
+class PlanVerifierTest : public ::testing::Test {
+ protected:
+  PlanVerifierTest() {
+    d_ = vars_.Global("d");
+    dot_ = interner_.Intern("dot");
+    out_ = interner_.Intern("out");
+    a_ = interner_.Intern("a");
+  }
+
+  analysis::PlanVerifyOptions Opts() {
+    analysis::PlanVerifyOptions opts;
+    opts.vars = &vars_;
+    opts.interner = &interner_;
+    return opts;
+  }
+
+  OpPtr Global() {
+    OpPtr op = MakeOp(OpKind::kGlobalVar);
+    op->var = d_;
+    return op;
+  }
+
+  /// MapFromItem{[field : IN]}(input) — one tuple per input item.
+  OpPtr FromItem(Symbol field, OpPtr input) {
+    OpPtr op = MakeOp(OpKind::kMapFromItem);
+    op->field = field;
+    op->inputs.push_back(std::move(input));
+    op->dep = MakeOp(OpKind::kInputItem);
+    return op;
+  }
+
+  OpPtr ToItem(OpPtr input, OpPtr dep) {
+    OpPtr op = MakeOp(OpKind::kMapToItem);
+    op->inputs.push_back(std::move(input));
+    op->dep = std::move(dep);
+    return op;
+  }
+
+  OpPtr FieldAcc(Symbol field) {
+    OpPtr op = MakeOp(OpKind::kFieldAccess);
+    op->field = field;
+    return op;
+  }
+
+  OpPtr Ttp(TreePattern tp, OpPtr input) {
+    OpPtr op = MakeOp(OpKind::kTupleTreePattern);
+    op->tp = std::move(tp);
+    op->inputs.push_back(std::move(input));
+    return op;
+  }
+
+  /// MapToItem{IN#out}(TTP[IN#dot/child::a{out}](MapFromItem{[dot : IN]}($d)))
+  /// — the shape the optimizer produces for "$d/a".
+  OpPtr LegalPlan() {
+    TreePattern tp = pattern::MakeSingleStep(dot_, Axis::kChild,
+                                             NodeTest::Name(a_), out_);
+    return ToItem(Ttp(std::move(tp), FromItem(dot_, Global())),
+                  FieldAcc(out_));
+  }
+
+  core::VarTable vars_;
+  StringInterner interner_;
+  core::VarId d_;
+  Symbol dot_, out_, a_;
+};
+
+TEST_F(PlanVerifierTest, LegalPlanPasses) {
+  OpPtr plan = LegalPlan();
+  EXPECT_TRUE(analysis::VerifyPlan(*plan, Opts()).ok());
+}
+
+TEST_F(PlanVerifierTest, ReadOfUnproducedField) {
+  // The extraction reads IN#bogus, but upstream only produces dot/out.
+  OpPtr plan = LegalPlan();
+  plan->dep->field = interner_.Intern("bogus");
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "field-def-use");
+}
+
+TEST_F(PlanVerifierTest, PatternContextFieldUnproduced) {
+  // The pattern navigates from IN#bogus, a field no operator defines.
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->tp.input_field = interner_.Intern("bogus");
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "field-def-use");
+}
+
+TEST_F(PlanVerifierTest, MultiOutputRequiresOptIn) {
+  // IN#dot/child::a{out}/child::a{out2}: legal only for the
+  // multi-variable extension.
+  OpPtr plan = LegalPlan();
+  TreePattern& tp = plan->inputs[0]->tp;
+  auto second = std::make_unique<PatternNode>();
+  second->axis = Axis::kChild;
+  second->test = NodeTest::Name(a_);
+  second->output = interner_.Intern("out2");
+  tp.root->next = std::move(second);
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "single-output");
+
+  analysis::PlanVerifyOptions multi = Opts();
+  multi.allow_multi_output = true;
+  // (The extraction still reads "out", which the pattern still produces.)
+  EXPECT_TRUE(analysis::VerifyPlan(*plan, multi).ok());
+}
+
+TEST_F(PlanVerifierTest, NoOutputAtAll) {
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->tp.root->output = kInvalidSymbol;
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "single-output");
+}
+
+TEST_F(PlanVerifierTest, UpwardAxisInPattern) {
+  // parent:: is navigationally fine but outside the pattern grammar.
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->tp.root->axis = Axis::kParent;
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "pattern-axis");
+}
+
+TEST_F(PlanVerifierTest, NameTestWithoutName) {
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->tp.root->test = NodeTest{NodeTestKind::kName,
+                                            kInvalidSymbol};
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "pattern-test");
+}
+
+TEST_F(PlanVerifierTest, PatternWithoutSteps) {
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->tp.root.reset();
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "pattern-root");
+}
+
+TEST_F(PlanVerifierTest, PredicateBranchWithOutput) {
+  // Predicate bindings are unobservable; an output annotation there is a
+  // merge bug (AttachPredicate must clear it).
+  OpPtr plan = LegalPlan();
+  auto pred = std::make_unique<PatternNode>();
+  pred->axis = Axis::kChild;
+  pred->test = NodeTest::AnyName();
+  pred->output = interner_.Intern("leak");
+  plan->inputs[0]->tp.root->predicates.push_back(std::move(pred));
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "pattern-pred-output");
+}
+
+TEST_F(PlanVerifierTest, DuplicateOutputAnnotation) {
+  OpPtr plan = LegalPlan();
+  TreePattern& tp = plan->inputs[0]->tp;
+  auto second = std::make_unique<PatternNode>();
+  second->axis = Axis::kChild;
+  second->test = NodeTest::AnyName();
+  second->output = out_;  // same field as the root step
+  tp.root->next = std::move(second);
+  analysis::PlanVerifyOptions multi = Opts();
+  multi.allow_multi_output = true;
+  ExpectViolation(analysis::VerifyPlan(*plan, multi), "pattern-output-dup");
+}
+
+TEST_F(PlanVerifierTest, TuplePlanAtRoot) {
+  OpPtr plan = FromItem(dot_, Global());
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "plan-sort");
+}
+
+TEST_F(PlanVerifierTest, ItemPlanWhereTupleExpected) {
+  // MapToItem over a bare GlobalVar: the input edge carries the wrong sort.
+  OpPtr plan = ToItem(Global(), FieldAcc(out_));
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "plan-sort");
+}
+
+TEST_F(PlanVerifierTest, InputTupleOutsideDependentContext) {
+  // IN (tuple) at the top level: there is no ambient tuple to read.
+  OpPtr plan = ToItem(MakeOp(OpKind::kInputTuple), FieldAcc(out_));
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "tuple-context");
+}
+
+TEST_F(PlanVerifierTest, FieldAccessOutsideTupleContext) {
+  OpPtr plan = FieldAcc(out_);
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "tuple-context");
+}
+
+TEST_F(PlanVerifierTest, InputItemOutsideMapFromItem) {
+  // MapToItem dependents see the current tuple, never a current item.
+  OpPtr plan = ToItem(FromItem(dot_, Global()), MakeOp(OpKind::kInputItem));
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "item-context");
+}
+
+TEST_F(PlanVerifierTest, UnboundScopedVar) {
+  OpPtr plan = MakeOp(OpKind::kScopedVar);
+  plan->var = vars_.Fresh("x");
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "scoped-var-scope");
+}
+
+TEST_F(PlanVerifierTest, GlobalVarReferencingLocal) {
+  OpPtr plan = MakeOp(OpKind::kGlobalVar);
+  plan->var = vars_.Fresh("x");  // registered, but not a global
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "global-var");
+}
+
+TEST_F(PlanVerifierTest, FnArityMismatch) {
+  OpPtr plan = MakeOp(OpKind::kFnCall);
+  plan->fn = core::CoreFn::kBoolean;
+  plan->inputs.push_back(Global());
+  plan->inputs.push_back(Global());
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "fn-arity");
+}
+
+TEST_F(PlanVerifierTest, IfWithTwoInputs) {
+  OpPtr plan = MakeOp(OpKind::kIf);
+  plan->inputs.push_back(Global());
+  plan->inputs.push_back(Global());
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "op-arity");
+}
+
+TEST_F(PlanVerifierTest, SelectWithoutPredicate) {
+  OpPtr select = MakeOp(OpKind::kSelect);
+  select->inputs.push_back(FromItem(dot_, Global()));
+  OpPtr plan = ToItem(std::move(select), FieldAcc(dot_));
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "dep-plan");
+}
+
+TEST_F(PlanVerifierTest, MapFromItemWithoutField) {
+  OpPtr plan = LegalPlan();
+  plan->inputs[0]->inputs[0]->field = kInvalidSymbol;
+  ExpectViolation(analysis::VerifyPlan(*plan, Opts()), "invalid-field");
+}
+
+TEST_F(PlanVerifierTest, ViolationIsAttributedToTheActiveScope) {
+  OpPtr plan = LegalPlan();
+  plan->dep->field = interner_.Intern("bogus");
+  analysis::VerifyScope::ClearFiredTrail();
+  Status st;
+  {
+    analysis::VerifyScope scope("optimize rule (test)");
+    scope.MarkFired();
+    st = analysis::VerifyPlan(*plan, Opts());
+  }
+  ExpectViolation(st, "field-def-use");
+  EXPECT_NE(st.message().find("[in optimize rule (test)]"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("[after: optimize rule (test)]"),
+            std::string::npos)
+      << st.message();
+  analysis::VerifyScope::ClearFiredTrail();
+}
+
+TEST_F(PlanVerifierTest, SuccessfulCheckpointClearsTheTrail) {
+  OpPtr plan = LegalPlan();
+  {
+    analysis::VerifyScope scope("optimize rule (test)");
+    scope.MarkFired();
+    EXPECT_TRUE(analysis::VerifyPlan(*plan, Opts()).ok());
+  }
+  EXPECT_EQ(analysis::VerifyScope::FiredTrail(), "");
+}
+
+// ---- core verifier ---------------------------------------------------------
+
+class CoreVerifierTest : public ::testing::Test {
+ protected:
+  CoreVerifierTest() { d_ = vars_.Global("d"); }
+
+  core::VarTable vars_;
+  core::VarId d_;
+};
+
+TEST_F(CoreVerifierTest, LegalExpressionPasses) {
+  core::VarId x = vars_.Fresh("x");
+  core::CoreExprPtr e = core::MakeFor(
+      x, core::kNoVar, core::MakeStep(d_, Axis::kDescendant, NodeTest::AnyName()),
+      nullptr, core::MakeStep(x, Axis::kChild, NodeTest::AnyName()));
+  EXPECT_TRUE(analysis::VerifyCore(*e, vars_).ok());
+  // Annotating with freshly derived properties must stay sound.
+  core::AnnotateOdf(e.get(), vars_);
+  EXPECT_TRUE(analysis::VerifyCore(*e, vars_).ok());
+}
+
+TEST_F(CoreVerifierTest, UnboundVariable) {
+  core::VarId x = vars_.Fresh("x");  // registered but never bound
+  core::CoreExprPtr e = core::MakeVar(x);
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "def-before-use");
+}
+
+TEST_F(CoreVerifierTest, UnregisteredVariable) {
+  core::CoreExprPtr e = core::MakeVar(999);
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "var-range");
+}
+
+TEST_F(CoreVerifierTest, PositionalVariableOutsideItsBinder) {
+  // let $y := (for $x at $p in $d return $x) return $p — $p escapes.
+  core::VarId x = vars_.Fresh("x");
+  core::VarId p = vars_.Fresh("p");
+  core::VarId y = vars_.Fresh("y");
+  core::CoreExprPtr loop = core::MakeFor(x, p, core::MakeVar(d_), nullptr,
+                                         core::MakeVar(x));
+  core::CoreExprPtr e =
+      core::MakeLet(y, std::move(loop), core::MakeVar(p));
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "def-before-use");
+}
+
+TEST_F(CoreVerifierTest, DuplicateBinder) {
+  core::VarId x = vars_.Fresh("x");
+  core::CoreExprPtr e = core::MakeLet(
+      x, core::MakeEmpty(),
+      core::MakeLet(x, core::MakeEmpty(), core::MakeVar(x)));
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "duplicate-binder");
+}
+
+TEST_F(CoreVerifierTest, BinderRebindsAGlobal) {
+  core::CoreExprPtr e =
+      core::MakeLet(d_, core::MakeEmpty(), core::MakeVar(d_));
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "binder-is-global");
+}
+
+TEST_F(CoreVerifierTest, PositionalBinderSameAsLoopVariable) {
+  core::VarId x = vars_.Fresh("x");
+  core::CoreExprPtr e =
+      core::MakeFor(x, x, core::MakeVar(d_), nullptr, core::MakeVar(x));
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "positional-binder");
+}
+
+TEST_F(CoreVerifierTest, WhereClauseOnANonLoop) {
+  core::CoreExprPtr e = core::MakeEmpty();
+  e->where = core::MakeEmpty();
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "core-arity");
+}
+
+TEST_F(CoreVerifierTest, LetWithOneChild) {
+  core::VarId x = vars_.Fresh("x");
+  auto e = std::make_unique<core::CoreExpr>(core::CoreKind::kLet);
+  e->var = x;
+  e->children.push_back(core::MakeEmpty());
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "core-arity");
+}
+
+TEST_F(CoreVerifierTest, CoreFnArityMismatch) {
+  std::vector<core::CoreExprPtr> args;
+  args.push_back(core::MakeVar(d_));
+  args.push_back(core::MakeVar(d_));
+  core::CoreExprPtr e = core::MakeFnCall(core::CoreFn::kNot, std::move(args));
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "fn-arity");
+}
+
+TEST_F(CoreVerifierTest, TooStrongOdfAnnotation) {
+  // for $x in $d/descendant::* return $x/child::* — the paper's canonical
+  // non-ordered shape (Q5): bindings are ancestor-related, so the child
+  // steps interleave. A cached `ordered` claim is a rewrite bug.
+  core::VarId x = vars_.Fresh("x");
+  core::CoreExprPtr e = core::MakeFor(
+      x, core::kNoVar, core::MakeStep(d_, Axis::kDescendant, NodeTest::AnyName()),
+      nullptr, core::MakeStep(x, Axis::kChild, NodeTest::AnyName()));
+  ASSERT_FALSE(core::ComputeOdf(*e, vars_, {}).ordered);
+  e->odf_cache = core::kOdfCachePresent | core::kOdfCacheOrdered;
+  ExpectViolation(analysis::VerifyCore(*e, vars_), "odf-cache-soundness");
+  // The same annotation with the claim dropped is fine.
+  e->odf_cache = core::kOdfCachePresent;
+  EXPECT_TRUE(analysis::VerifyCore(*e, vars_).ok());
+}
+
+// ---- engine integration ----------------------------------------------------
+
+TEST(EngineVerifyTest, VerifiedCompilationSucceedsOnRealQueries) {
+  engine::EngineOptions eopts;
+  eopts.verify_plans = true;
+  engine::Engine e(eopts);
+  const char* queries[] = {
+      "$d//person[emailaddress]/name",
+      "for $p in $d//person where $p/age return $p/name",
+      "fn:count($d//a[b][c])",
+  };
+  for (const char* q : queries) {
+    auto cq = e.Compile(q);
+    EXPECT_TRUE(cq.ok()) << q << ": " << cq.status().ToString();
+  }
+}
+
+TEST(EngineVerifyTest, VerifiedMultiOutputCompilationSucceeds) {
+  engine::EngineOptions eopts;
+  eopts.verify_plans = true;
+  engine::Engine e(eopts);
+  engine::CompileOptions copts;
+  copts.multi_output_patterns = true;
+  auto cq = e.Compile("for $p in $d//person return $p/name/text()", copts);
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+}
+
+}  // namespace
+}  // namespace xqtp

@@ -23,8 +23,10 @@ class PrinterTest : public ::testing::Test {
     auto c = core::Normalize(**surface, &vars_);
     ASSERT_TRUE(c.ok()) << c.status().ToString();
     normalized_ = core::Clone(**c);
-    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, {});
-    ASSERT_TRUE(r.ok());
+    core::RewriteOptions ropts;
+    ropts.verify = true;  // the Core verifier runs even in Release builds
+    auto r = core::RewriteToTPNF(std::move(c).value(), &vars_, ropts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
     rewritten_ = std::move(r).value();
   }
 

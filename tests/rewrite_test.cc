@@ -10,7 +10,7 @@ namespace {
 
 class RewriteTest : public ::testing::Test {
  protected:
-  std::string Rewrite(const std::string& q, const RewriteOptions& opts = {}) {
+  std::string Rewrite(const std::string& q, RewriteOptions opts = {}) {
     auto surface = xquery::ParseQuery(q, &interner_);
     EXPECT_TRUE(surface.ok()) << surface.status().ToString();
     if (!surface.ok()) return "";
@@ -18,6 +18,7 @@ class RewriteTest : public ::testing::Test {
     auto core = Normalize(**surface, &vars_);
     EXPECT_TRUE(core.ok()) << core.status().ToString();
     if (!core.ok()) return "";
+    opts.verify = true;  // the Core verifier runs even in Release builds
     auto rewritten = RewriteToTPNF(std::move(core).value(), &vars_, opts);
     EXPECT_TRUE(rewritten.ok()) << rewritten.status().ToString();
     if (!rewritten.ok()) return "";
@@ -141,8 +142,10 @@ TEST_F(RewriteTest, ComparisonPredicateKeptOutsidePattern) {
 TEST_F(RewriteTest, RewritingIsIdempotent) {
   std::string once = Rewrite("$d//person[emailaddress]/name");
   // Rewriting the rewritten expression again changes nothing.
-  auto again = RewriteToTPNF(Clone(*root_), &vars_, RewriteOptions{});
-  ASSERT_TRUE(again.ok());
+  RewriteOptions opts;
+  opts.verify = true;
+  auto again = RewriteToTPNF(Clone(*root_), &vars_, opts);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(ToString(**again, vars_, interner_), once);
 }
 

@@ -1,0 +1,167 @@
+// Status / Result edge cases: code + message round-trips, the propagation
+// macros, and Result with move-only and implicitly-converting payloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xqtp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status st;
+    StatusCode code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad query"), StatusCode::kInvalidArgument,
+       "InvalidArgument: bad query"},
+      {Status::NotImplemented("following axis"), StatusCode::kNotImplemented,
+       "NotImplemented: following axis"},
+      {Status::TypeError("not a node"), StatusCode::kTypeError,
+       "TypeError: not a node"},
+      {Status::Internal("broken plan"), StatusCode::kInternal,
+       "Internal: broken plan"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.st.ok());
+    EXPECT_EQ(c.st.code(), c.code);
+    EXPECT_EQ(c.st.ToString(), c.rendered);
+  }
+}
+
+TEST(StatusTest, EmptyMessageStillRenders) {
+  Status st = Status::Internal("");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.ToString(), "Internal: ");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status st = Status::TypeError("original");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kTypeError);
+  EXPECT_EQ(copy.message(), "original");
+  EXPECT_EQ(st.message(), "original");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    XQTP_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  Status st = outer();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "inner");
+}
+
+TEST(StatusTest, ReturnNotOkFallsThroughOnOk) {
+  bool reached = false;
+  auto outer = [&]() -> Status {
+    XQTP_RETURN_NOT_OK(Status::OK());
+    reached = true;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_TRUE(reached);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::TypeError("fail");
+    return std::string("value");
+  };
+  EXPECT_TRUE(make(false).ok());
+  EXPECT_EQ(*make(false), "value");
+  EXPECT_FALSE(make(true).ok());
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  // Rvalue value() moves the payload out.
+  std::unique_ptr<int> taken = std::move(r).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  r->push_back(4);
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("inner failed");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    XQTP_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  auto ok = outer(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 6);
+  auto err = outer(true);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().message(), "inner failed");
+}
+
+TEST(ResultTest, AssignOrReturnMovesMoveOnlyValues) {
+  auto inner = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  auto outer = [&]() -> Result<int> {
+    XQTP_ASSIGN_OR_RETURN(std::unique_ptr<int> p, inner());
+    return *p;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 9);
+}
+
+TEST(ResultTest, AssignOrReturnToExistingLvalue) {
+  auto inner = []() -> Result<int> { return 3; };
+  auto outer = [&]() -> Status {
+    int v = 0;
+    XQTP_ASSIGN_OR_RETURN(v, inner());
+    return v == 3 ? Status::OK() : Status::Internal("bad value");
+  };
+  EXPECT_TRUE(outer().ok());
+}
+
+}  // namespace
+}  // namespace xqtp
