@@ -7,8 +7,16 @@
 #     warning-clean.
 #  2. Debug + ASan/UBSan — analysis::kVerifyByDefault is on without
 #     NDEBUG, so every test additionally runs the Core and plan verifiers
-#     at each rewrite checkpoint, with the sanitizers watching the
-#     verifiers themselves.
+#     AND the translation-validation oracle (witness-corpus differential
+#     execution of every rewrite checkpoint) with the sanitizers watching
+#     the checkers themselves.
+#
+# Between the two build/test legs:
+#  - a clang-tidy pass (.clang-tidy profile, warnings-as-errors) over
+#    src/, skipped with a notice when clang-tidy is not installed;
+#  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
+#    line is part of the gate's output — the deep seed-matrix sweep under
+#    sanitizers lives in ci/fuzz.sh.
 #
 # Usage: ci/check.sh [jobs]   (defaults to all cores)
 set -euo pipefail
@@ -41,7 +49,22 @@ run_config() {
 }
 
 run_config release build-ci-release \
-  -DCMAKE_BUILD_TYPE=Release -DXQTP_WERROR=ON
+  -DCMAKE_BUILD_TYPE=Release -DXQTP_WERROR=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "==== [clang-tidy] static analysis ===="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  clang-tidy -p build-ci-release --quiet \
+    $(find src -name '*.cc' | sort)
+  echo "==== [clang-tidy] clean ===="
+else
+  echo "==== [clang-tidy] SKIPPED: clang-tidy not installed ===="
+fi
+
+echo "==== [equiv-fuzz] bounded differential sweep (Release) ===="
+build-ci-release/tools/equiv_fuzz --iters 500 --seed 1 \
+  --artifacts fuzz-artifacts --quiet
 
 run_config debug-sanitize build-ci-sanitize \
   -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Differential fuzzing gate: runs tools/equiv_fuzz — the grammar-based
+# query generator driving the translation-validation and cross-evaluator
+# oracles — under ASan/UBSan over a fixed seed matrix, so every run is
+# reproducible and a failure is replayable with
+#   tools/equiv_fuzz --replay fuzz-artifacts/failure-<seed>-<iter>-<n>.txt
+#
+# Wall clock is bounded by the iteration budget: one iteration compiles
+# one query and executes it over the whole witness corpus along every
+# route, and the budget below finishes in well under a minute per seed
+# even in the sanitized Debug build.
+#
+# Usage: ci/fuzz.sh [iters-per-seed] [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ITERS="${1:-400}"
+JOBS="${2:-$(nproc)}"
+SEEDS=(1 2 3 7 42)
+DIR=build-ci-sanitize
+
+echo "==== [fuzz] configure + build (Debug, ASan/UBSan) ===="
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \
+  "-DXQTP_SANITIZE=address;undefined" > /dev/null
+cmake --build "$DIR" --target equiv_fuzz -j "$JOBS"
+
+status=0
+for seed in "${SEEDS[@]}"; do
+  echo "==== [fuzz] seed $seed, $ITERS iterations ===="
+  if ! "$DIR/tools/equiv_fuzz" --iters "$ITERS" --seed "$seed" \
+      --artifacts fuzz-artifacts --quiet; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "==== [fuzz] FAILED: divergence artifacts in fuzz-artifacts/ ===="
+  exit 1
+fi
+echo "==== [fuzz] all seeds clean ===="

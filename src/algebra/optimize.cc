@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/equiv_checker.h"
 #include "analysis/plan_verifier.h"
 
 namespace xqtp::algebra {
@@ -616,7 +617,11 @@ Status Optimize(OpPtr* plan, StringInterner* interner,
   vopts.vars = opts.vars;
   vopts.interner = interner;
   Optimizer optimizer(interner, opts);
+  // The translation-validation oracle needs the variable table to bind
+  // globals when executing snapshots.
+  bool check_equiv = opts.equiv != nullptr && opts.vars != nullptr;
   for (int round = 0; round < opts.max_rounds; ++round) {
+    OpPtr before = check_equiv ? Clone(**plan) : nullptr;
     bool changed = false;
     optimizer.RunRound(plan, &changed);
     // Checkpoint: a violation here is attributed to the rules that fired
@@ -624,15 +629,22 @@ Status Optimize(OpPtr* plan, StringInterner* interner,
     if (changed && opts.verify) {
       XQTP_RETURN_NOT_OK(analysis::VerifyPlan(**plan, vopts));
     }
+    if (changed && check_equiv) {
+      XQTP_RETURN_NOT_OK(opts.equiv->CheckPlan(*before, **plan, *opts.vars));
+    }
     if (!changed) break;
   }
   {
     analysis::VerifyScope scope("optimize: field canonicalization");
+    OpPtr before = check_equiv ? Clone(**plan) : nullptr;
     FieldCanonicalizer canon(interner);
     canon.Run(plan->get());
     if (opts.verify) {
       scope.MarkFired();
       XQTP_RETURN_NOT_OK(analysis::VerifyPlan(**plan, vopts));
+    }
+    if (check_equiv) {
+      XQTP_RETURN_NOT_OK(opts.equiv->CheckPlan(*before, **plan, *opts.vars));
     }
   }
   return Status::OK();

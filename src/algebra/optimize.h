@@ -24,6 +24,10 @@
 #include "analysis/verify_scope.h"
 #include "common/status.h"
 
+namespace xqtp::analysis {
+class EquivChecker;
+}  // namespace xqtp::analysis
+
 namespace xqtp::algebra {
 
 struct OptimizeOptions {
@@ -51,6 +55,13 @@ struct OptimizeOptions {
   bool verify = analysis::kVerifyByDefault;
   /// Enables the verifier's global-variable checks when supplied.
   const core::VarTable* vars = nullptr;
+  /// Translation-validation oracle (analysis/equiv_checker.h): when set
+  /// together with `vars`, the plan is snapshotted before each fixpoint
+  /// round and both forms are executed against the witness corpus after a
+  /// round changed the plan; a semantic divergence aborts optimization
+  /// with the fired rules, the minimized witness, and both printed plans.
+  /// Non-owning.
+  analysis::EquivChecker* equiv = nullptr;
 };
 
 /// Rewrites `plan` in place. Field names are canonicalized afterwards

@@ -1,0 +1,62 @@
+// Cross-evaluator oracle: the paper's central claim that every physical
+// pattern algorithm computes the same operator semantics (Section 4.1
+// bindings, root-to-leaf lexical order) is checked dynamically by running
+// the same pattern — or whole plan — through all six algorithms and
+// asserting identical ordered results. The "Demythization" comparison
+// (PAPERS.md) shows holistic vs. binary evaluators are exactly where
+// silent divergence hides; this oracle turns such divergence into a
+// reported counterexample instead of a wrong answer.
+#ifndef XQTP_ANALYSIS_CROSS_CHECK_H_
+#define XQTP_ANALYSIS_CROSS_CHECK_H_
+
+#include <vector>
+
+#include "algebra/ops.h"
+#include "common/status.h"
+#include "core/ast.h"
+#include "exec/evaluator.h"
+#include "exec/pattern_eval.h"
+#include "pattern/tree_pattern.h"
+
+namespace xqtp::analysis {
+
+/// The algorithms the oracle exercises: all six physical pattern
+/// algorithms. kCostBased is excluded — it delegates to one of these.
+const std::vector<exec::PatternAlgo>& CrossCheckAlgos();
+
+/// Item equality as the differential oracles need it: Item::operator==
+/// except that two NaN doubles agree — fn:number turns every witness
+/// where its argument is absent into NaN, and IEEE NaN != NaN would make
+/// identical before/after forms "diverge".
+bool ItemsAgree(const xdm::Item& a, const xdm::Item& b);
+
+/// Evaluates `tp` over `context` with every algorithm and compares the
+/// binding rows against the nested-loop reference. Returns Internal on
+/// the first divergence, naming the algorithm, the pattern, and the first
+/// differing row index.
+Status CrossCheckPattern(const pattern::TreePattern& tp,
+                         const xdm::Sequence& context,
+                         const StringInterner& interner);
+
+/// Whole-pipeline differential check for one compiled query under fixed
+/// global bindings.
+struct CrossCheckInput {
+  /// The rewritten Core expression — the semantics reference (optional).
+  const core::CoreExpr* reference = nullptr;
+  /// The unoptimized plan (optional).
+  const algebra::Op* unoptimized = nullptr;
+  /// The optimized plan; required. When it contains TupleTreePattern
+  /// operators it is evaluated once per algorithm.
+  const algebra::Op* optimized = nullptr;
+};
+
+/// Runs every route (Core interpreter, unoptimized plan, optimized plan
+/// x each pattern algorithm) and compares all results against the first
+/// available route. Two erroring routes agree regardless of message.
+/// Returns Internal naming the diverging route on the first mismatch.
+Status CrossCheck(const CrossCheckInput& in, const core::VarTable& vars,
+                  const exec::Bindings& bindings);
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_CROSS_CHECK_H_

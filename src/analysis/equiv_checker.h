@@ -1,0 +1,81 @@
+// Translation validation for the rewrite pipeline, in the spirit of
+// Pnueli/Siegel/Singerman's translation validation and LLVM's Alive2:
+// instead of proving each rewrite rule correct once and for all (the TPNF
+// technical report's completeness proof), validate every *application* of
+// a rule by executing the expression/plan before and after the rule fired
+// against a corpus of small witness documents (analysis/witness.h) and
+// comparing the results item-for-item.
+//
+// The checker hooks into the same VerifyScope checkpoints as the
+// structural verifiers (core/rewrite.cc per rule family, algebra/
+// optimize.cc per fixpoint round), so a divergence is attributed to the
+// exact rule that introduced it. The report carries the offending rule
+// (via VerifyScope::Tag), the *minimized* witness document (witness
+// shrinker), and both printed forms.
+#ifndef XQTP_ANALYSIS_EQUIV_CHECKER_H_
+#define XQTP_ANALYSIS_EQUIV_CHECKER_H_
+
+#include <string>
+
+#include "algebra/ops.h"
+#include "analysis/verify_scope.h"
+#include "analysis/witness.h"
+#include "common/status.h"
+#include "core/ast.h"
+
+namespace xqtp::analysis {
+
+/// Knobs for the analysis subsystem's dynamic checks. The structural
+/// verifiers keep their own switches (EngineOptions::verify_plans,
+/// RewriteOptions::verify, OptimizeOptions::verify); this struct governs
+/// the translation-validation oracle layered on top of them.
+struct AnalysisOptions {
+  /// Execute before/after forms on the witness corpus at every rewrite
+  /// and optimizer checkpoint. On by default in Debug builds (the CI
+  /// Debug/ASan leg); the Release CI leg instead runs the bounded
+  /// tools/equiv_fuzz sweep.
+  bool check_equivalence = kVerifyByDefault;
+  /// Cap on witness documents consulted per check (0 = whole corpus).
+  int max_witness_docs = 0;
+  /// Predicate-evaluation budget for minimizing a diverging witness.
+  int shrink_budget = 400;
+};
+
+/// The oracle. One per Engine: witness documents are parsed with the
+/// engine's interner so tag Symbols line up with compiled queries.
+/// Not thread-safe (compilation itself is single-threaded per engine).
+class EquivChecker {
+ public:
+  explicit EquivChecker(StringInterner* interner,
+                        const AnalysisOptions& opts = {});
+
+  /// Validates one Core rewrite step: `before` and `after` must evaluate
+  /// to the same sequence on every witness document (both failing with an
+  /// error also counts as agreement — rewrites may legally reword
+  /// errors). Returns Internal, tagged with the active VerifyScope, on
+  /// the first divergence.
+  Status CheckCore(const core::CoreExpr& before, const core::CoreExpr& after,
+                   const core::VarTable& vars);
+
+  /// Validates one algebraic rewrite round (plans evaluated with the
+  /// nested-loop pattern algorithm; cross-algorithm agreement is the
+  /// separate cross_check.h oracle).
+  Status CheckPlan(const algebra::Op& before, const algebra::Op& after,
+                   const core::VarTable& vars);
+
+  /// Validates the Core -> algebra compilation step itself.
+  Status CheckCoreVsPlan(const core::CoreExpr& core_form,
+                         const algebra::Op& plan, const core::VarTable& vars);
+
+  const WitnessCorpus& corpus() const { return corpus_; }
+  StringInterner* interner() const { return interner_; }
+
+ private:
+  StringInterner* interner_;
+  AnalysisOptions opts_;
+  WitnessCorpus corpus_;
+};
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_EQUIV_CHECKER_H_

@@ -1,0 +1,147 @@
+#include "analysis/qgen.h"
+
+#include "analysis/witness.h"
+
+namespace xqtp::analysis {
+
+QueryGen::QueryGen(uint64_t seed, const QGenOptions& opts)
+    : opts_(opts), state_(seed ^ 0x5851f42d4c957f2dULL) {}
+
+// splitmix64 — keeps Next() byte-deterministic across standard libraries.
+uint64_t QueryGen::NextRand() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int QueryGen::Range(int lo, int hi) {
+  return lo + static_cast<int>(NextRand() % static_cast<uint64_t>(hi - lo + 1));
+}
+
+bool QueryGen::Chance(int percent) { return Range(1, 100) <= percent; }
+
+std::string QueryGen::Tag() {
+  const std::vector<std::string>& tags = WitnessCorpus::TagAlphabet();
+  return tags[Range(0, static_cast<int>(tags.size()) - 1)];
+}
+
+std::string QueryGen::GenPredicate(int pred_depth) {
+  // Existence-path predicates dominate: they are the shape the pattern
+  // rules (e) fold into predicate branches.
+  int roll = Range(1, 100);
+  if (roll <= 45 || pred_depth <= 0) {
+    std::string p = Tag();
+    if (pred_depth > 0 && Chance(40)) {
+      p += (Chance(50) ? "/" : "//") + Tag();
+      if (pred_depth > 1 && Chance(30)) p += "[" + GenPredicate(0) + "]";
+    }
+    return p;
+  }
+  if (roll <= 55) return "@id";
+  if (opts_.positional && roll <= 70) {
+    return Chance(50) ? std::to_string(Range(1, 3))
+                      : "position() = " + std::to_string(Range(1, 3));
+  }
+  if (opts_.value_preds && roll <= 90) {
+    // Value comparison against the corpus's text/attribute values.
+    std::string lhs = Chance(30) ? "@id" : Tag();
+    const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+    std::string op = ops[Range(0, 5)];
+    if (Chance(60)) {
+      const char* vals[] = {"\"1\"", "\"2\"", "\"3\"", "\"x\"", "\"y\""};
+      // Order comparisons on non-numeric strings are type errors in the
+      // fragment; keep < <= > >= numeric-looking.
+      int max_val = op == "=" || op == "!=" ? 4 : 2;
+      return lhs + " " + op + " " + vals[Range(0, max_val)];
+    }
+    return lhs + " " + op + " " + std::to_string(Range(1, 3));
+  }
+  return Tag() + "[" + Tag() + "]";  // nested existence
+}
+
+std::string QueryGen::GenStep(int pred_depth) {
+  std::string step = (Chance(65) ? "/" : "//") + Tag();
+  if (Chance(35)) step += "[" + GenPredicate(pred_depth) + "]";
+  if (Chance(8)) step += "[" + GenPredicate(pred_depth > 0 ? pred_depth - 1 : 0) + "]";
+  return step;
+}
+
+std::string QueryGen::GenRelPath(int steps, int pred_depth) {
+  std::string p;
+  for (int i = 0; i < steps; ++i) p += GenStep(pred_depth);
+  return p;
+}
+
+std::string QueryGen::GenPath() {
+  std::string q = "$input";
+  // Half the paths enter through the corpus root element /r, half jump
+  // straight in with a descendant step.
+  if (Chance(50)) q += "/r";
+  int steps = Range(1, opts_.max_steps);
+  q += GenRelPath(steps, opts_.max_pred_depth);
+  if (Chance(10)) {
+    // Final attribute step.
+    q += "/@id";
+  }
+  return q;
+}
+
+std::string QueryGen::GenQuery() {
+  int roll = Range(1, 100);
+  if (roll <= 50 || !opts_.flwor) return GenPath();
+
+  if (roll <= 80) {
+    // FLWOR over a path prefix, the paper's Section 5.1 variant shape.
+    std::string v = "v" + std::to_string(++var_counter_);
+    bool has_pos = opts_.positional && Chance(15);
+    std::string pv = "p" + std::to_string(var_counter_);
+    std::string out = "for $" + v;
+    if (has_pos) out += " at $" + pv;
+    out += " in " + GenPath();
+    if (Chance(40)) {
+      std::string cond;
+      int c = Range(1, 100);
+      if (has_pos && c <= 30) {
+        cond = "$" + pv + " <= " + std::to_string(Range(1, 3));
+      } else if (c <= 60) {
+        cond = "exists($" + v + GenRelPath(1, 1) + ")";
+      } else if (opts_.value_preds && c <= 85) {
+        cond = "$" + v + "/" + Tag() + " = \"" + std::to_string(Range(1, 3)) +
+               "\"";
+      } else {
+        cond = "count($" + v + GenRelPath(1, 0) + ") >= " +
+               std::to_string(Range(1, 2));
+      }
+      out += " where " + cond;
+    }
+    out += " return $" + v;
+    if (Chance(60)) out += GenRelPath(Range(1, 2), 1);
+    return out;
+  }
+  if (roll <= 88) {
+    // let-bound path consumed by a loop or an aggregate.
+    std::string v = "v" + std::to_string(++var_counter_);
+    std::string out = "let $" + v + " := " + GenPath() + " return ";
+    if (Chance(50)) {
+      std::string w = "v" + std::to_string(++var_counter_);
+      out += "for $" + w + " in $" + v + " return $" + w +
+             GenRelPath(Range(0, 2), 1);
+    } else {
+      out += (Chance(50) ? "count($" : "exists($") + v + ")";
+    }
+    return out;
+  }
+  if (roll <= 94 && opts_.value_preds) {
+    // Aggregate / existence call at the top.
+    const char* fns[] = {"count", "exists", "empty", "boolean"};
+    return std::string(fns[Range(0, 3)]) + "(" + GenPath() + ")";
+  }
+  // Conditional between two paths.
+  return "if (exists(" + GenPath() + ")) then " + GenPath() + " else " +
+         GenPath();
+}
+
+std::string QueryGen::Next() { return GenQuery(); }
+
+}  // namespace xqtp::analysis

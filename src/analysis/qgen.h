@@ -1,0 +1,56 @@
+// Grammar-based random query generation over the paper's path/FLWOR/
+// predicate fragment, used to drive the translation-validation and
+// cross-evaluator oracles (tools/equiv_fuzz). Queries are generated from
+// the same grammar the parser accepts — paths with child/descendant/
+// attribute steps, existence/positional/value predicates, FLWOR wrappers
+// with where clauses and positional variables, and the Core function
+// library — over the witness corpus's tag alphabet, so generated queries
+// both compile and actually match witness documents.
+//
+// Generation is seeded and byte-deterministic across platforms (no
+// std::uniform_int_distribution): artifact replay depends on
+// QueryGen(seed).Next() returning the same text forever.
+#ifndef XQTP_ANALYSIS_QGEN_H_
+#define XQTP_ANALYSIS_QGEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xqtp::analysis {
+
+struct QGenOptions {
+  int max_steps = 4;        ///< main-path steps per path expression
+  int max_pred_depth = 2;   ///< nesting depth of predicate paths
+  bool flwor = true;        ///< wrap paths in for/let/where forms
+  bool positional = true;   ///< emit [k], [position() = k], "at $p"
+  bool value_preds = true;  ///< emit value comparisons and fn calls
+};
+
+/// Deterministic query stream for one seed.
+class QueryGen {
+ public:
+  explicit QueryGen(uint64_t seed, const QGenOptions& opts = {});
+
+  /// The next random query (always syntactically valid for the fragment).
+  std::string Next();
+
+ private:
+  uint64_t NextRand();
+  int Range(int lo, int hi);
+  bool Chance(int percent);
+
+  std::string Tag();
+  std::string GenStep(int pred_depth);
+  std::string GenPredicate(int pred_depth);
+  std::string GenRelPath(int steps, int pred_depth);
+  std::string GenPath();
+  std::string GenQuery();
+
+  QGenOptions opts_;
+  uint64_t state_;
+  int var_counter_ = 0;
+};
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_QGEN_H_

@@ -1,0 +1,68 @@
+// Witness documents for the translation-validation oracle
+// (analysis/equiv_checker.h): a cached corpus of small XML documents on
+// which a "before" and an "after" form of a rewrite are both executed —
+// a rewrite is flagged as unsound as soon as the two forms disagree on
+// any witness. The corpus mixes curated adversarial documents (recursive
+// same-tag nesting, duplicate siblings, mixed content, empty matches,
+// positional runs) with deterministically generated random trees, all
+// over one small tag alphabet shared with the query generator
+// (analysis/qgen.h) so generated queries actually hit the documents.
+//
+// Also hosts the witness *shrinker*: greedy structural minimization of a
+// diverging document under a caller-supplied divergence predicate, so a
+// reported counterexample is small enough to debug by eye.
+#ifndef XQTP_ANALYSIS_WITNESS_H_
+#define XQTP_ANALYSIS_WITNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "xml/document.h"
+
+namespace xqtp::analysis {
+
+/// One document of the witness corpus.
+struct WitnessDoc {
+  std::string name;  ///< stable id, e.g. "dup-siblings" or "gen-30"
+  std::string xml;   ///< source text (serialized into failure artifacts)
+  std::unique_ptr<xml::Document> doc;
+};
+
+/// The witness corpus. Documents are parsed once with the engine's
+/// interner (tag Symbols must match the compiled query's) and cached for
+/// the checker's lifetime. Every document is rooted at <r> so paths
+/// starting with /r and descendant steps both find context nodes.
+class WitnessCorpus {
+ public:
+  explicit WitnessCorpus(StringInterner* interner);
+
+  const std::vector<WitnessDoc>& docs() const { return docs_; }
+
+  /// The element-tag alphabet used by the corpus and by qgen.
+  static const std::vector<std::string>& TagAlphabet();
+
+ private:
+  void Add(std::string name, std::string xml, StringInterner* interner);
+
+  std::vector<WitnessDoc> docs_;
+};
+
+/// True iff the document still exhibits the divergence being minimized.
+using WitnessPredicate = std::function<bool(const xml::Document&)>;
+
+/// Greedily minimizes `xml_text` while `pred` stays true: repeatedly tries
+/// deleting subtrees, hoisting an element's children into its place, and
+/// dropping attributes, keeping every edit that preserves the divergence.
+/// `max_checks` bounds the number of predicate evaluations. Returns the
+/// serialized minimal document (the input text if nothing could be
+/// removed). The caller must ensure `pred` holds on the input.
+std::string ShrinkWitness(const std::string& xml_text,
+                          StringInterner* interner,
+                          const WitnessPredicate& pred, int max_checks = 400);
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_WITNESS_H_

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "analysis/core_verifier.h"
+#include "analysis/equiv_checker.h"
 #include "core/odf.h"
 #include "core/typing.h"
 
@@ -343,48 +344,87 @@ void LoopSplit(CoreExprPtr* e, bool* changed) {
   LoopSplit(e, changed);
 }
 
+// ---- test-only unsound rule ------------------------------------------------
+
+/// Intentionally wrong rewrite behind RewriteOptions::
+/// unsound_ddo_strip_for_testing: fs:ddo(E) -> E with no ordered/
+/// duplicate-free justification. Exists so the translation-validation
+/// oracle's own tests have a realistic rule bug to detect.
+void UnsoundStripAllDdo(CoreExprPtr* e, bool* changed) {
+  CoreExpr& n = **e;
+  for (CoreExprPtr& c : n.children) UnsoundStripAllDdo(&c, changed);
+  if (n.where) UnsoundStripAllDdo(&n.where, changed);
+  if (n.kind == CoreKind::kDdo) {
+    CoreExprPtr repl = std::move(n.children[0]);
+    *e = std::move(repl);
+    *changed = true;
+  }
+}
+
 }  // namespace
 
 Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
                                   const RewriteOptions& opts) {
   // Verifies the tree after a rule family changed it, attributing any
-  // violation to that family via the ambient VerifyScope.
+  // violation to that family via the ambient VerifyScope; with an
+  // EquivChecker attached, additionally validates that the family
+  // preserved semantics on the witness corpus (`before` is the snapshot
+  // taken just before the family ran; null when no checker is attached).
   auto checkpoint = [&](analysis::VerifyScope* scope, bool fam_changed,
-                        bool* changed) -> Status {
+                        bool* changed, const CoreExprPtr& before) -> Status {
     if (!fam_changed) return Status::OK();
     scope->MarkFired();
     *changed = true;
-    if (!opts.verify) return Status::OK();
-    return analysis::VerifyCore(*e, *vars);
+    if (opts.verify) {
+      XQTP_RETURN_NOT_OK(analysis::VerifyCore(*e, *vars));
+    }
+    if (opts.equiv != nullptr && before != nullptr) {
+      XQTP_RETURN_NOT_OK(opts.equiv->CheckCore(*before, *e, *vars));
+    }
+    return Status::OK();
+  };
+  auto snapshot = [&]() -> CoreExprPtr {
+    return opts.equiv != nullptr ? Clone(*e) : nullptr;
   };
   for (int round = 0; round < opts.max_rounds; ++round) {
     bool changed = false;
     if (opts.typeswitch_rules) {
       analysis::VerifyScope scope("core rewrite: typeswitch rules");
+      CoreExprPtr before = snapshot();
       TypeEnv tenv;
       bool fam = false;
       TypeSimplify(&e, *vars, &tenv, &fam);
-      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed, before));
     }
     if (opts.flwor_rules) {
       analysis::VerifyScope scope("core rewrite: FLWOR rules");
+      CoreExprPtr before = snapshot();
       SingletonSet singletons;
       bool fam = false;
       FlworSimplify(&e, &singletons, &fam);
-      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed, before));
     }
     if (opts.ddo_removal) {
       analysis::VerifyScope scope("core rewrite: ddo removal");
+      CoreExprPtr before = snapshot();
       OdfEnv oenv;
       bool fam = false;
       StripDdo(&e, {false, false}, *vars, &oenv, &fam);
-      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed, before));
     }
     if (opts.loop_split) {
       analysis::VerifyScope scope("core rewrite: loop split");
+      CoreExprPtr before = snapshot();
       bool fam = false;
       LoopSplit(&e, &fam);
-      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed));
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed, before));
+    }
+    if (opts.unsound_ddo_strip_for_testing) {
+      analysis::VerifyScope scope("core rewrite: unsound ddo strip (test-only)");
+      CoreExprPtr before = snapshot();
+      bool fam = false;
+      UnsoundStripAllDdo(&e, &fam);
+      XQTP_RETURN_NOT_OK(checkpoint(&scope, fam, &changed, before));
     }
     if (!changed) break;
   }

@@ -20,6 +20,10 @@
 #include "common/status.h"
 #include "core/ast.h"
 
+namespace xqtp::analysis {
+class EquivChecker;
+}  // namespace xqtp::analysis
+
 namespace xqtp::core {
 
 struct RewriteOptions {
@@ -34,6 +38,19 @@ struct RewriteOptions {
   /// that breaks scoping or caches an unsound annotation is pinpointed.
   /// On by default in Debug builds.
   bool verify = analysis::kVerifyByDefault;
+  /// Translation-validation oracle (analysis/equiv_checker.h): when set,
+  /// the expression is snapshotted before each rule family and both forms
+  /// are executed against the witness corpus after the family fired; a
+  /// semantic divergence aborts the rewrite with the offending rule, the
+  /// minimized witness document, and both printed forms. Non-owning.
+  analysis::EquivChecker* equiv = nullptr;
+  /// Test-only hook for the oracle's own tests: adds an intentionally
+  /// unsound rule family ("unsound ddo strip") that removes *every*
+  /// fs:ddo call unconditionally — a plausible-looking rewrite that
+  /// breaks document order and duplicate elimination. Never enabled by
+  /// the engine; tests/equiv_checker_test.cc proves the oracle detects
+  /// it and shrinks the witness.
+  bool unsound_ddo_strip_for_testing = false;
 };
 
 /// Rewrites `e` to TPNF'. Always terminates (bounded rounds); each round

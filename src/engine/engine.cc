@@ -27,6 +27,15 @@ const xml::Document* Engine::FindDocument(const std::string& name) const {
   return it == docs_.end() ? nullptr : it->second.get();
 }
 
+analysis::EquivChecker* Engine::equiv_checker() {
+  if (!options_.analysis.check_equivalence) return nullptr;
+  if (!equiv_) {
+    equiv_ = std::make_unique<analysis::EquivChecker>(&interner_,
+                                                      options_.analysis);
+  }
+  return equiv_.get();
+}
+
 Result<CompiledQuery> Engine::Compile(std::string_view query,
                                       const CompileOptions& opts) {
   CompiledQuery q;
@@ -46,6 +55,7 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
   if (opts.rewrite) {
     core::RewriteOptions ropts = opts.rewrite_opts;
     ropts.verify = options_.verify_plans;
+    ropts.equiv = equiv_checker();
     XQTP_ASSIGN_OR_RETURN(
         q.rewritten_,
         core::RewriteToTPNF(core::Clone(*q.normalized_), &q.vars_, ropts));
@@ -63,6 +73,14 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
     vopts.interner = &interner_;
     XQTP_RETURN_NOT_OK(analysis::VerifyPlan(*q.plan_, vopts));
   }
+  if (analysis::EquivChecker* equiv = equiv_checker()) {
+    // Differential check of the compilation step itself: the compiled
+    // plan must agree with the rewritten Core on the witness corpus.
+    analysis::VerifyScope scope("algebra compile");
+    scope.MarkFired();
+    XQTP_RETURN_NOT_OK(
+        equiv->CheckCoreVsPlan(*q.rewritten_, *q.plan_, q.vars_));
+  }
   q.optimized_ = algebra::Clone(*q.plan_);
   algebra::OptimizeOptions oopts;
   oopts.detect_tree_patterns = opts.detect_tree_patterns;
@@ -70,6 +88,7 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
   oopts.multi_output_patterns = opts.multi_output_patterns;
   oopts.verify = options_.verify_plans;
   oopts.vars = &q.vars_;
+  oopts.equiv = equiv_checker();
   XQTP_RETURN_NOT_OK(algebra::Optimize(&q.optimized_, &interner_, oopts));
   return q;
 }

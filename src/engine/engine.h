@@ -21,6 +21,7 @@
 
 #include "algebra/compile.h"
 #include "algebra/optimize.h"
+#include "analysis/equiv_checker.h"
 #include "common/status.h"
 #include "core/normalize.h"
 #include "core/rewrite.h"
@@ -39,6 +40,15 @@ struct EngineOptions {
   /// violation surfaces as Status::Internal tagged with the pass that
   /// produced the broken tree. On by default in Debug builds.
   bool verify_plans = analysis::kVerifyByDefault;
+  /// Translation-validation oracle: when analysis.check_equivalence is
+  /// set, every rewrite-rule family and optimizer round is additionally
+  /// validated by executing the tree before and after the rules against
+  /// the witness corpus (analysis/equiv_checker.h), and the Core ->
+  /// algebra compilation step is differentially checked. A divergence
+  /// surfaces as Status::Internal carrying the offending rule, the
+  /// minimized witness document, and both printed forms. On by default
+  /// in Debug builds, like the verifiers.
+  analysis::AnalysisOptions analysis;
 };
 
 struct CompileOptions {
@@ -145,9 +155,14 @@ class Engine {
   const StringInterner& interner() const { return interner_; }
 
  private:
+  /// The engine's oracle, created on first use (witness documents parse
+  /// with the engine's interner, which must exist first).
+  analysis::EquivChecker* equiv_checker();
+
   EngineOptions options_;
   StringInterner interner_;
   std::map<std::string, std::unique_ptr<xml::Document>> docs_;
+  std::unique_ptr<analysis::EquivChecker> equiv_;
   int32_t next_doc_id_ = 0;
 };
 

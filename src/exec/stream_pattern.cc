@@ -87,6 +87,10 @@ class StreamEval {
     // The context node itself can match self / descendant-or-self root
     // steps; it opens as a virtual event around the whole region scan.
     size_t n_self = StartSelfLike();
+    // The context node's own attributes are events of the region too: a
+    // root attribute step, or an attribute step under a self-like root
+    // instance, matches them before any child is streamed.
+    StartAttributes(context);
     struct Frame {
       const Node* node;
       size_t n_spawned;
@@ -152,6 +156,7 @@ class StreamEval {
       // Root step: relative to the context node.
       switch (q.axis) {
         case Axis::kChild:
+        case Axis::kAttribute:
           if (n->parent == context_) bases->push_back(nullptr);
           break;
         case Axis::kDescendant:
@@ -214,6 +219,13 @@ class StreamEval {
       }
     }
     // Attribute events: attributes start and end within this event.
+    StartAttributes(n);
+    return spawned;
+  }
+
+  /// Attribute events for `n`: each attribute starts and ends within its
+  /// owner's start event, so instances are spawned and closed in place.
+  void StartAttributes(const Node* n) {
     size_t attr_marker = pushed_.size();
     for (size_t s = 0; s < steps_.size(); ++s) {
       const PatternNode& q = *steps_[s];
@@ -227,9 +239,7 @@ class StreamEval {
         }
       }
     }
-    size_t n_attr = pushed_.size() - attr_marker;
-    EndNode(n_attr);  // attributes close immediately
-    return spawned;
+    EndNode(pushed_.size() - attr_marker);  // attributes close immediately
   }
 
   /// Spawns root instances for self-like matches of the context node.

@@ -191,7 +191,10 @@ class TwigStack {
     while (HeadPre(q) < HeadPre(nmax) && HeadPost(q) < HeadPost(nmax)) {
       Advance(q);
     }
-    if (HeadPre(q) < HeadPre(nmin)) return q;
+    // Tie goes to q: with descendant-or-self edges a child step's stream
+    // can head the very node q is about to push (self edge), and q's
+    // element must be on the stack before the child's is chained to it.
+    if (HeadPre(q) <= HeadPre(nmin)) return q;
     return nmin;
   }
 
@@ -201,7 +204,9 @@ class TwigStack {
       const Element& top =
           arena_[static_cast<size_t>(q)]
                 [static_cast<size_t>(stack_top_[static_cast<size_t>(q)])];
-      if (top.node->post > v->post) break;  // still an open ancestor
+      // Keep ancestors-or-self: equal post means v is the same node (a
+      // self edge under descendant-or-self), which must stay chainable.
+      if (top.node->post >= v->post) break;
       Pop(q);
     }
   }

@@ -151,6 +151,67 @@ TEST_P(PatternEvalTest, MultipleContextNodes) {
   EXPECT_EQ(rows.size(), 5u);
 }
 
+TEST_P(PatternEvalTest, DescendantOrSelfTiesWithParentStep) {
+  // child::r/descendant-or-self::node() — the // expansion applied right
+  // after an exact step. The r element heads BOTH steps' streams at once;
+  // regression: TwigStack broke the tie toward the child step, never
+  // stacked r, and lost every binding (including the self match).
+  StringInterner in2;
+  auto res = xml::Parse("<r><d/><d/></r>", &in2);
+  ASSERT_TRUE(res.ok());
+  TreePattern tp = MakeSingleStep(in2.Intern("dot"), Axis::kChild,
+                                  NodeTest::Name(in2.Intern("r")),
+                                  kInvalidSymbol);
+  pattern::AppendPath(
+      &tp, MakeSingleStep(kInvalidSymbol, Axis::kDescendantOrSelf,
+                          NodeTest::AnyNode(), in2.Intern("out")));
+  auto rows = EvalPattern(tp, {xdm::Item(res.value()->root())}, GetParam());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 3u);  // r itself plus its two d children
+  EXPECT_EQ((*rows)[0].fields[0].second->name, in2.Intern("r"));
+}
+
+TEST_P(PatternEvalTest, RootAttributeStep) {
+  // A bare attribute::id step against element contexts; regression: the
+  // streaming evaluator emitted attribute events only while visiting
+  // descendants, so the context node's own attributes never matched.
+  const auto& cs = doc_->ElementsByTag(interner_.Intern("c"));
+  xdm::Sequence ctx;
+  for (const xml::Node* n : cs) ctx.push_back(xdm::Item(n));
+  TreePattern tp = MakeSingleStep(
+      dot_, Axis::kAttribute, NodeTest::Name(interner_.Intern("id")), out_);
+  auto rows = Eval(tp, ctx);
+  ASSERT_EQ(rows.size(), 4u);  // ids 1, 4, 6, 9
+  EXPECT_EQ(rows[0].fields[0].second->text, "1");
+  EXPECT_EQ(rows[3].fields[0].second->text, "9");
+}
+
+TEST_P(PatternEvalTest, AncestorRelatedContextsDuplicateSiblings) {
+  // Contexts where one node contains another (document node and its r
+  // child) over duplicate siblings: each d must come out exactly once,
+  // and a test that matches nothing must stay empty — for every
+  // algorithm, since these are the shapes the cross-evaluator oracle
+  // compares.
+  StringInterner in2;
+  auto res = xml::Parse("<r><d/><d/></r>", &in2);
+  ASSERT_TRUE(res.ok());
+  const xml::Node* r = res.value()->root()->first_child;
+  xdm::Sequence ctx{xdm::Item(res.value()->root()), xdm::Item(r)};
+  TreePattern tp = MakeSingleStep(in2.Intern("dot"), Axis::kChild,
+                                  NodeTest::Name(in2.Intern("d")),
+                                  in2.Intern("out"));
+  auto rows = EvalPattern(tp, ctx, GetParam());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);
+
+  TreePattern none = MakeSingleStep(in2.Intern("dot"), Axis::kChild,
+                                    NodeTest::Name(in2.Intern("e")),
+                                    in2.Intern("out"));
+  auto empty_rows = EvalPattern(none, ctx, GetParam());
+  ASSERT_TRUE(empty_rows.ok()) << empty_rows.status().ToString();
+  EXPECT_TRUE(empty_rows->empty());
+}
+
 TEST_P(PatternEvalTest, NonNodeContextIsError) {
   TreePattern tp = MakeSingleStep(dot_, Axis::kChild, NodeTest::AnyName(),
                                   out_);
