@@ -55,7 +55,5 @@ void Register() {
 
 int main(int argc, char** argv) {
   xqtp::bench::Register();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return xqtp::bench::BenchMain(argc, argv);
 }

@@ -10,13 +10,19 @@
 #     AND the translation-validation oracle (witness-corpus differential
 #     execution of every rewrite checkpoint) with the sanitizers watching
 #     the checkers themselves.
+#  3. Release + TSan — the morsel-parallel driver's threading tests
+#     (parallel_eval_test, concurrency_test) under ThreadSanitizer:
+#     per-query thread pools, the shared-mutex lazy-index path, and two
+#     parallel queries running concurrently.
 #
-# Between the two build/test legs:
+# Between the build/test legs:
 #  - a clang-tidy pass (.clang-tidy profile, warnings-as-errors) over
 #    src/, skipped with a notice when clang-tidy is not installed;
 #  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
 #    line is part of the gate's output — the deep seed-matrix sweep under
-#    sanitizers lives in ci/fuzz.sh.
+#    sanitizers lives in ci/fuzz.sh;
+#  - a bounded smoke run of bench_parallel that drops the perf-trajectory
+#    records (--json) into BENCH_smoke.json at the repo root.
 #
 # Usage: ci/check.sh [jobs]   (defaults to all cores)
 set -euo pipefail
@@ -66,8 +72,26 @@ echo "==== [equiv-fuzz] bounded differential sweep (Release) ===="
 build-ci-release/tools/equiv_fuzz --iters 500 --seed 1 \
   --artifacts fuzz-artifacts --quiet
 
+echo "==== [bench-smoke] perf trajectory -> BENCH_smoke.json ===="
+build-ci-release/bench/bench_parallel \
+  --benchmark_min_time=0.05 --json=BENCH_smoke.json
+python3 -c "import json; json.load(open('BENCH_smoke.json'))" \
+  && echo "BENCH_smoke.json: valid JSON"
+
 run_config debug-sanitize build-ci-sanitize \
   -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \
   "-DXQTP_SANITIZE=address;undefined"
+
+# TSan leg: Release (the pool actually spins) with only the threading
+# tests — TSan and ASan cannot be combined, so this is its own tree.
+echo "==== [tsan] configure ===="
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Release \
+  -DXQTP_WERROR=ON -DXQTP_SANITIZE=thread > /dev/null
+echo "==== [tsan] build ===="
+cmake --build build-ci-tsan -j "$JOBS" \
+  --target parallel_eval_test concurrency_test
+echo "==== [tsan] test ===="
+ctest --test-dir build-ci-tsan --output-on-failure \
+  -R '^(parallel_eval_test|concurrency_test)$'
 
 echo "==== all checks passed ===="

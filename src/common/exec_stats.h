@@ -27,6 +27,17 @@ struct ExecStats {
   /// TupleTreePattern evaluations (one per input tuple per operator).
   int64_t pattern_evals = 0;
 
+  /// Adds another collector's counters into this one. The morsel driver
+  /// (exec/parallel.h) gives each worker morsel its own scope and merges
+  /// the slots into the calling scope on join, so the counters stay exact
+  /// under parallel execution.
+  void Add(const ExecStats& other) {
+    nodes_visited += other.nodes_visited;
+    index_entries_scanned += other.index_entries_scanned;
+    index_skips += other.index_skips;
+    pattern_evals += other.pattern_evals;
+  }
+
   std::string ToString() const;
 };
 

@@ -1,8 +1,14 @@
 #include "common/interner.h"
 
+#include <cassert>
+
 namespace xqtp {
 
 Symbol StringInterner::Intern(std::string_view name) {
+  assert(!frozen() &&
+         "StringInterner::Intern called during execution (an "
+         "ExecutionFreeze is active) — all names must be interned during "
+         "parse/compile/document build");
   auto it = map_.find(std::string(name));
   if (it != map_.end()) return it->second;
   Symbol sym = static_cast<Symbol>(names_.size());

@@ -5,6 +5,7 @@
 #ifndef XQTP_COMMON_INTERNER_H_
 #define XQTP_COMMON_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -17,27 +18,64 @@ namespace xqtp {
 using Symbol = int32_t;
 inline constexpr Symbol kInvalidSymbol = -1;
 
-/// Bidirectional name <-> Symbol map. Not thread-safe; one per Engine.
+/// Bidirectional name <-> Symbol map. Not thread-safe for writers; one per
+/// Engine. Every name a query or document can refer to is interned during
+/// parsing / compilation / document building — execution only ever READS
+/// the interner (NameOf for error messages, Lookup never mutates). That
+/// contract is what makes the morsel workers of exec/parallel.h safe
+/// without a lock here; ExecutionFreeze turns it into a debug assertion.
 class StringInterner {
  public:
   StringInterner() = default;
   StringInterner(const StringInterner&) = delete;
   StringInterner& operator=(const StringInterner&) = delete;
 
-  /// Returns the symbol for `name`, creating it on first use.
+  /// RAII scope asserting "no interning while executing": while any
+  /// ExecutionFreeze is alive, Intern() debug-asserts. Engine::Execute
+  /// holds one around plan evaluation, so a code path that tries to
+  /// create a symbol mid-query (and would race concurrent readers) fails
+  /// fast in debug builds instead of corrupting the map.
+  class ExecutionFreeze {
+   public:
+    explicit ExecutionFreeze(const StringInterner& interner)
+        : interner_(interner) {
+      interner_.freeze_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ExecutionFreeze() {
+      interner_.freeze_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ExecutionFreeze(const ExecutionFreeze&) = delete;
+    ExecutionFreeze& operator=(const ExecutionFreeze&) = delete;
+
+   private:
+    const StringInterner& interner_;
+  };
+
+  /// Returns the symbol for `name`, creating it on first use. Must not be
+  /// called while an ExecutionFreeze is active (debug-asserted).
   Symbol Intern(std::string_view name);
 
   /// Returns the symbol for `name` or kInvalidSymbol if never interned.
+  /// Read-only: safe to call concurrently while no Intern runs.
   Symbol Lookup(std::string_view name) const;
 
-  /// Returns the name for a valid symbol.
+  /// Returns the name for a valid symbol. Read-only, like Lookup.
   const std::string& NameOf(Symbol sym) const { return names_.at(sym); }
 
   size_t size() const { return names_.size(); }
 
+  /// True while any ExecutionFreeze is alive (exposed for tests).
+  bool frozen() const {
+    return freeze_count_.load(std::memory_order_relaxed) > 0;
+  }
+
  private:
   std::unordered_map<std::string, Symbol> map_;
   std::vector<std::string> names_;
+  /// Number of live ExecutionFreeze scopes. Mutable + atomic: freezing is
+  /// a logically-const observation concern, and nested freezes (engine
+  /// Execute inside an analysis cross-check) must both count.
+  mutable std::atomic<int> freeze_count_{0};
 };
 
 }  // namespace xqtp

@@ -105,6 +105,16 @@ Result<xdm::Sequence> Engine::Execute(const CompiledQuery& q,
                                       const GlobalMap& globals,
                                       exec::PatternAlgo algo,
                                       PlanChoice plan) const {
+  exec::EvalOptions opts;
+  opts.algo = algo;
+  opts.threads = 1;  // the legacy entry point stays sequential
+  return Execute(q, globals, opts, plan);
+}
+
+Result<xdm::Sequence> Engine::Execute(const CompiledQuery& q,
+                                      const GlobalMap& globals,
+                                      const exec::EvalOptions& opts,
+                                      PlanChoice plan) const {
   exec::Bindings bindings;
   for (core::VarId v = 0; v < static_cast<core::VarId>(q.vars().size());
        ++v) {
@@ -116,17 +126,15 @@ Result<xdm::Sequence> Engine::Execute(const CompiledQuery& q,
     }
     bindings[v] = it->second;
   }
+  // Every name a compiled plan can mention is already interned; enforce
+  // (in debug builds) that evaluation — possibly on several threads —
+  // never writes to the interner.
+  StringInterner::ExecutionFreeze freeze(interner_);
   switch (plan) {
-    case PlanChoice::kOptimized: {
-      exec::EvalOptions opts;
-      opts.algo = algo;
+    case PlanChoice::kOptimized:
       return exec::Evaluate(q.optimized(), q.vars(), bindings, opts);
-    }
-    case PlanChoice::kUnoptimized: {
-      exec::EvalOptions opts;
-      opts.algo = algo;
+    case PlanChoice::kUnoptimized:
       return exec::Evaluate(q.plan(), q.vars(), bindings, opts);
-    }
     case PlanChoice::kCoreInterp:
       return exec::EvaluateCore(q.rewritten(), q.vars(), bindings);
   }

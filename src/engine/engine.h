@@ -135,11 +135,21 @@ class Engine {
   /// Global bindings by variable name; a document binds as its root node.
   using GlobalMap = std::map<std::string, xdm::Sequence>;
 
-  /// Executes a compiled query.
+  /// Executes a compiled query. This legacy entry point is the sequential
+  /// path (threads = 1), keeping per-algorithm ExecStats deterministic.
   Result<xdm::Sequence> Execute(
       const CompiledQuery& q, const GlobalMap& globals,
       exec::PatternAlgo algo = exec::PatternAlgo::kNLJoin,
       PlanChoice plan = PlanChoice::kOptimized) const;
+
+  /// Executes a compiled query with full evaluation options — notably
+  /// EvalOptions::threads for the morsel-parallel driver (exec/parallel.h;
+  /// 0 = one thread per hardware thread). Evaluation runs under a
+  /// StringInterner::ExecutionFreeze: no name may be interned mid-query.
+  Result<xdm::Sequence> Execute(const CompiledQuery& q,
+                                const GlobalMap& globals,
+                                const exec::EvalOptions& opts,
+                                PlanChoice plan = PlanChoice::kOptimized) const;
 
   /// One-shot convenience: compile + execute against a single document
   /// bound to every free variable of the query.

@@ -1,7 +1,9 @@
 #include "exec/evaluator.h"
 
-#include "exec/fn_lib.h"
+#include <memory>
 
+#include "exec/fn_lib.h"
+#include "exec/parallel.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
 
@@ -19,7 +21,21 @@ class Evaluator {
  public:
   Evaluator(const core::VarTable& vars, const Bindings& bindings,
             const EvalOptions& opts)
-      : vars_(vars), bindings_(bindings), opts_(opts) {}
+      : vars_(vars), bindings_(bindings), opts_(opts) {
+    int threads = ThreadPool::ResolveThreads(opts.threads);
+    if (threads > 1) {
+      par_ = std::make_unique<ParallelContext>();
+      par_->threads = threads;
+      par_->min_fanout = std::max(1, opts.parallel_min_fanout);
+      par_->morsels_per_thread = std::max(1, opts.parallel_morsels_per_thread);
+      // The per-query pool is created on the first evaluation that
+      // actually morselizes — small queries never pay the thread spawn.
+      par_->pool = [this, threads]() {
+        if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+        return pool_.get();
+      };
+    }
+  }
 
   Result<Sequence> Run(const Op& plan) {
     return EvalItem(plan, nullptr, nullptr);
@@ -67,6 +83,7 @@ class Evaluator {
         XQTP_ASSIGN_OR_RETURN(Sequence ctx,
                               EvalItem(*op.inputs[0], tuple, item));
         Sequence out;
+        out.reserve(ctx.size());
         for (const Item& it : ctx) {
           if (!it.IsNode()) {
             return Status::TypeError("path step applied to an atomic value");
@@ -78,6 +95,10 @@ class Evaluator {
       case OpKind::kDdo: {
         XQTP_ASSIGN_OR_RETURN(Sequence in,
                               EvalItem(*op.inputs[0], tuple, item));
+        // Plans stack a Ddo on every path step; when the input is already
+        // distinct and document-ordered (single-output patterns emit such
+        // sequences by construction), skip the re-sort.
+        if (xdm::IsDistinctDocOrdered(in)) return in;
         return xdm::DistinctDocOrder(std::move(in));
       }
       case OpKind::kMapToItem: {
@@ -226,6 +247,13 @@ class Evaluator {
       }
       case OpKind::kTupleTreePattern: {
         XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
+        // Wide tuple inputs morselize at the tuple level; the common
+        // optimized plan (one tuple holding the document root) instead
+        // morselizes inside EvalPattern via the root fan-out strategy.
+        if (par_ != nullptr &&
+            in.size() >= static_cast<size_t>(par_->min_fanout)) {
+          return EvalPatternTuplesParallel(op.tp, in, opts_.algo, *par_);
+        }
         TupleSeq out;
         for (const Tuple& t : in) {
           const Sequence* ctx = t.Get(op.tp.input_field);
@@ -233,8 +261,9 @@ class Evaluator {
             return Status::Internal(
                 "TupleTreePattern input tuple lacks the context field");
           }
-          XQTP_ASSIGN_OR_RETURN(std::vector<BindingRow> rows,
-                                EvalPattern(op.tp, *ctx, opts_.algo));
+          XQTP_ASSIGN_OR_RETURN(
+              std::vector<BindingRow> rows,
+              EvalPattern(op.tp, *ctx, opts_.algo, par_.get()));
           for (const BindingRow& row : rows) {
             Tuple nt = t;
             for (const auto& [sym, node] : row.fields) {
@@ -254,6 +283,10 @@ class Evaluator {
   const Bindings& bindings_;
   const EvalOptions& opts_;
   std::unordered_map<core::VarId, Sequence> scoped_;
+  /// Parallel-evaluation parameters (null when opts_.threads resolves
+  /// to 1) and the lazily-created per-query pool behind par_->pool.
+  std::unique_ptr<ParallelContext> par_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include "exec/cost_model.h"
 #include "storage/node_table.h"
 #include "exec/exec_stats.h"
+#include "exec/parallel.h"
 #include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
@@ -29,17 +30,18 @@ const char* PatternAlgoName(PatternAlgo algo) {
   return "?";
 }
 
+bool RowLexLess(const BindingRow& a, const BindingRow& b) {
+  size_t n = std::min(a.fields.size(), b.fields.size());
+  for (size_t i = 0; i < n; ++i) {
+    const xml::Node* na = a.fields[i].second;
+    const xml::Node* nb = b.fields[i].second;
+    if (na != nb) return xml::DocOrderLess(na, nb);
+  }
+  return a.fields.size() < b.fields.size();
+}
+
 void FinalizeRows(std::vector<BindingRow>* rows) {
-  auto less = [](const BindingRow& a, const BindingRow& b) {
-    size_t n = std::min(a.fields.size(), b.fields.size());
-    for (size_t i = 0; i < n; ++i) {
-      const xml::Node* na = a.fields[i].second;
-      const xml::Node* nb = b.fields[i].second;
-      if (na != nb) return xml::DocOrderLess(na, nb);
-    }
-    return a.fields.size() < b.fields.size();
-  };
-  std::sort(rows->begin(), rows->end(), less);
+  std::sort(rows->begin(), rows->end(), RowLexLess);
   rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
 }
 
@@ -149,10 +151,8 @@ Result<std::vector<BindingRow>> EvalPatternNL(const TreePattern& tp,
   return rows;
 }
 
-Result<std::vector<BindingRow>> EvalPattern(const TreePattern& tp,
-                                            const xdm::Sequence& context,
-                                            PatternAlgo algo) {
-  CountPatternEval();
+Result<std::vector<BindingRow>> EvalPatternSequential(
+    const TreePattern& tp, const xdm::Sequence& context, PatternAlgo algo) {
   switch (algo) {
     case PatternAlgo::kNLJoin:
       return EvalPatternNL(tp, context);
@@ -167,9 +167,24 @@ Result<std::vector<BindingRow>> EvalPattern(const TreePattern& tp,
     case PatternAlgo::kShredded:
       return storage::EvalPatternShredded(tp, context);
     case PatternAlgo::kCostBased:
-      return EvalPattern(tp, context, ChooseAlgorithm(tp, context));
+      return EvalPatternSequential(tp, context, ChooseAlgorithm(tp, context));
   }
   return Status::Internal("unknown pattern algorithm");
+}
+
+Result<std::vector<BindingRow>> EvalPattern(const TreePattern& tp,
+                                            const xdm::Sequence& context,
+                                            PatternAlgo algo,
+                                            const ParallelContext* par) {
+  CountPatternEval();
+  // Resolve the cost-based choice once, against the full context, so a
+  // morselized evaluation runs ONE algorithm across all its morsels.
+  if (algo == PatternAlgo::kCostBased) algo = ChooseAlgorithm(tp, context);
+  if (par != nullptr) {
+    Result<std::vector<BindingRow>> rows = std::vector<BindingRow>{};
+    if (TryEvalPatternParallel(tp, context, algo, *par, &rows)) return rows;
+  }
+  return EvalPatternSequential(tp, context, algo);
 }
 
 }  // namespace xqtp::exec

@@ -1,0 +1,470 @@
+// Morsel-parallel driver for TupleTreePattern evaluation (see parallel.h
+// for the architecture). Correctness rests on two facts:
+//
+//  1. every sequential algorithm returns the operator's Section 4.1
+//     result: DISTINCT binding rows in root-to-leaf lexical order
+//     (RowLexLess). A morsel's result is therefore a sorted run, and an
+//     order-preserving merge + dedup of the runs reproduces the
+//     sequential output bit for bit;
+//  2. the union over context nodes (or over root-step candidates, for
+//     the self-rooted rewrite) of the pattern's matches equals the
+//     matches over the whole context — pattern evaluation is per-context
+//     independent, so any partition of the context is sound.
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "exec/exec_stats.h"
+#include "storage/node_table.h"
+#include "xdm/sequence_ops.h"
+#include "xml/document.h"
+
+namespace xqtp::exec {
+
+int ThreadPool::ResolveThreads(int threads) {
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int n = ResolveThreads(threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    for (;;) {
+      int i;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fn_ != fn || generation_ != seen || next_ >= count_) break;
+        i = next_++;
+      }
+      (*fn)(i);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == count_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    done_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread claims morsels alongside the workers.
+  for (;;) {
+    int i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= count_) break;
+      i = next_++;
+    }
+    fn(i);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++done_ == count_) done_cv_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_ == count_; });
+  fn_ = nullptr;
+}
+
+namespace {
+
+using pattern::PatternNode;
+using pattern::PatternNodePtr;
+using pattern::TreePattern;
+using xml::Document;
+using xml::Node;
+
+/// Document-ordered stream of the nodes matching `test` on an element-ish
+/// axis (the same per-tag indexes the Staircase/Twig joins consume).
+const std::vector<const Node*>& StreamFor(const Document& doc,
+                                          const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return doc.ElementsByTag(test.name);
+    case NodeTestKind::kAnyName:
+      return doc.AllElements();
+    case NodeTestKind::kText:
+      return doc.TextNodes();
+    case NodeTestKind::kAnyNode:
+      return doc.AllNodes();
+  }
+  return doc.AllNodes();
+}
+
+void SortDedup(std::vector<const Node*>* v) {
+  std::sort(v->begin(), v->end(), xml::DocOrderLess);
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// Staircase pruning: contexts covered by an earlier context's subtree
+/// contribute no new descendants. Input must be sorted.
+void PruneCovered(std::vector<const Node*>* ctx) {
+  std::vector<const Node*> kept;
+  kept.reserve(ctx->size());
+  for (const Node* n : *ctx) {
+    if (!kept.empty() && (kept.back() == n || kept.back()->IsAncestorOf(*n))) {
+      continue;
+    }
+    kept.push_back(n);
+  }
+  *ctx = std::move(kept);
+}
+
+/// Expands the root step's candidate set directly from the per-tag index
+/// (the staircase region scan), instead of letting every worker rediscover
+/// it navigationally. Returns the document-ordered duplicate-free matches
+/// of `root` over `ctx`; the caller has verified a downward axis, no
+/// positional constraint, and a single document.
+std::vector<const Node*> ExpandRootCandidates(const PatternNode& root,
+                                              std::vector<const Node*> ctx) {
+  std::vector<const Node*> out;
+  if (ctx.empty()) return out;
+  SortDedup(&ctx);
+  const Document& doc = *ctx.front()->doc;
+  const std::vector<const Node*>& stream = StreamFor(doc, root.test);
+  switch (root.axis) {
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      PruneCovered(&ctx);
+      size_t pos = 0;
+      for (const Node* c : ctx) {
+        if (root.axis == Axis::kDescendantOrSelf &&
+            xdm::MatchesTest(c, root.axis, root.test)) {
+          out.push_back(c);
+        }
+        CountIndexSkip();
+        auto it = std::upper_bound(
+            stream.begin() + static_cast<ptrdiff_t>(pos), stream.end(),
+            c->pre, [](int32_t pre, const Node* n) { return pre < n->pre; });
+        pos = static_cast<size_t>(it - stream.begin());
+        while (pos < stream.size() && stream[pos]->post < c->post) {
+          out.push_back(stream[pos]);
+          ++pos;
+          CountIndexEntries(1);
+        }
+      }
+      break;  // disjoint regions: already sorted and duplicate-free
+    }
+    case Axis::kChild: {
+      for (const Node* c : ctx) {
+        CountIndexSkip();
+        auto it = std::upper_bound(
+            stream.begin(), stream.end(), c->pre,
+            [](int32_t pre, const Node* n) { return pre < n->pre; });
+        for (; it != stream.end() && (*it)->post < c->post; ++it) {
+          CountIndexEntries(1);
+          if ((*it)->parent == c) out.push_back(*it);
+        }
+      }
+      SortDedup(&out);
+      break;
+    }
+    default:
+      break;  // unreachable: gated by the caller
+  }
+  return out;
+}
+
+struct MorselRange {
+  size_t begin;
+  size_t end;
+};
+
+/// Cuts `units` work units into contiguous morsels: about
+/// threads * morsels_per_thread of them, never smaller than
+/// min_fanout / 4 units (finer morsels would be all coordination).
+std::vector<MorselRange> PlanMorsels(size_t units, const ParallelContext& par) {
+  int target = std::max(1, par.threads * par.morsels_per_thread);
+  size_t min_units =
+      std::max<size_t>(1, static_cast<size_t>(par.min_fanout) / 4);
+  size_t size = std::max(min_units,
+                         (units + static_cast<size_t>(target) - 1) /
+                             static_cast<size_t>(target));
+  std::vector<MorselRange> morsels;
+  morsels.reserve(units / size + 1);
+  for (size_t lo = 0; lo < units; lo += size) {
+    morsels.push_back({lo, std::min(units, lo + size)});
+  }
+  return morsels;
+}
+
+/// Order-preserving merge of per-morsel sorted runs, then one dedup pass.
+/// Uses the same RowLexLess the sequential FinalizeRows sorts by, which is
+/// what makes the merged output bit-identical to the sequential one.
+std::vector<BindingRow> MergeSortedRuns(std::vector<std::vector<BindingRow>> runs) {
+  std::vector<BindingRow> acc;
+  for (std::vector<BindingRow>& run : runs) {
+    if (run.empty()) continue;
+    if (acc.empty()) {
+      acc = std::move(run);
+      continue;
+    }
+    std::vector<BindingRow> merged;
+    merged.reserve(acc.size() + run.size());
+    std::merge(std::make_move_iterator(acc.begin()),
+               std::make_move_iterator(acc.end()),
+               std::make_move_iterator(run.begin()),
+               std::make_move_iterator(run.end()), std::back_inserter(merged),
+               RowLexLess);
+    acc = std::move(merged);
+  }
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+  return acc;
+}
+
+void PrewarmSteps(const Document& doc, const PatternNode& p) {
+  if (p.axis == Axis::kAttribute) {
+    if (p.test.kind == NodeTestKind::kName) doc.AttributesByName(p.test.name);
+  } else {
+    StreamFor(doc, p.test);
+  }
+  for (const PatternNodePtr& pred : p.predicates) PrewarmSteps(doc, *pred);
+  if (p.next != nullptr) PrewarmSteps(doc, *p.next);
+}
+
+/// Merges the per-morsel worker counters into the calling scope (if any):
+/// the driver reports exactly the work its morsels did.
+void MergeWorkerStats(const std::vector<ExecStats>& slots) {
+  if (ExecStats* s = CurrentExecStats()) {
+    for (const ExecStats& w : slots) s->Add(w);
+  }
+}
+
+}  // namespace
+
+void PrewarmPatternIndexes(const xml::Document& doc,
+                           const pattern::TreePattern& tp, PatternAlgo algo) {
+  if (tp.root == nullptr) return;
+  PrewarmSteps(doc, *tp.root);
+  // The cost model reads the lazily-computed document statistics.
+  doc.Stats();
+  if (algo == PatternAlgo::kShredded || algo == PatternAlgo::kCostBased) {
+    storage::NodeTable::For(doc);
+  }
+}
+
+bool TryEvalPatternParallel(const pattern::TreePattern& tp,
+                            const xdm::Sequence& context, PatternAlgo algo,
+                            const ParallelContext& par,
+                            Result<std::vector<BindingRow>>* out) {
+  if (par.threads < 2 || !par.pool || tp.root == nullptr) return false;
+  // kCostBased must be resolved by the caller (one algorithm across all
+  // morsels); an unresolved choice is not morselizable.
+  if (algo == PatternAlgo::kCostBased) return false;
+  for (const xdm::Item& it : context) {
+    // Non-node contexts carry TypeError semantics the sequential
+    // algorithms own; keep them on the sequential path.
+    if (!it.IsNode()) return false;
+  }
+
+  std::vector<const Node*> units;
+  TreePattern self_tp;
+  const TreePattern* eval_tp = &tp;
+
+  if (context.size() >= static_cast<size_t>(par.min_fanout)) {
+    // Strategy 1: the context itself is wide — contiguous ranges of it
+    // become morsels and each runs the unmodified pattern.
+    units.reserve(context.size());
+    for (const xdm::Item& it : context) units.push_back(it.node());
+  } else {
+    // Strategy 2: root fan-out. Expand the root step's candidates from
+    // the index, rewrite the pattern self-rooted, morselize candidates.
+    const PatternNode& root = *tp.root;
+    if (root.position != 0) return false;
+    if (root.axis != Axis::kChild && root.axis != Axis::kDescendant &&
+        root.axis != Axis::kDescendantOrSelf) {
+      return false;
+    }
+    if (context.empty()) return false;
+    const Document* doc = context.front().node()->doc;
+    std::vector<const Node*> ctx;
+    ctx.reserve(context.size());
+    for (const xdm::Item& it : context) {
+      if (it.node()->doc != doc) return false;  // index scans are per-doc
+      ctx.push_back(it.node());
+    }
+    std::vector<const Node*> candidates =
+        ExpandRootCandidates(root, std::move(ctx));
+    if (candidates.size() < static_cast<size_t>(par.min_fanout)) return false;
+    self_tp = tp.Clone();
+    self_tp.root->axis = Axis::kSelf;  // candidates already match the test
+    eval_tp = &self_tp;
+    units = std::move(candidates);
+  }
+
+  std::vector<MorselRange> morsels = PlanMorsels(units.size(), par);
+  if (morsels.size() < 2) return false;
+  ThreadPool* pool = par.pool();
+  if (pool == nullptr) return false;
+
+  // Pre-warm every document the morsels touch, so workers only ever hit
+  // the built (shared-lock) path of the lazy getters.
+  std::vector<const Document*> docs;
+  for (const Node* n : units) {
+    if (std::find(docs.begin(), docs.end(), n->doc) == docs.end()) {
+      docs.push_back(n->doc);
+      PrewarmPatternIndexes(*n->doc, *eval_tp, algo);
+    }
+  }
+
+  struct Part {
+    Result<std::vector<BindingRow>> rows = std::vector<BindingRow>{};
+  };
+  std::vector<Part> parts(morsels.size());
+  std::vector<ExecStats> stats_slots(morsels.size());
+  pool->Run(static_cast<int>(morsels.size()), [&](int m) {
+    ScopedExecStats scope;  // per-morsel collection slot
+    const MorselRange& mr = morsels[static_cast<size_t>(m)];
+    xdm::Sequence ctx;
+    ctx.reserve(mr.end - mr.begin);
+    for (size_t i = mr.begin; i < mr.end; ++i) {
+      ctx.push_back(xdm::Item(units[i]));
+    }
+    parts[static_cast<size_t>(m)].rows =
+        EvalPatternSequential(*eval_tp, ctx, algo);
+    stats_slots[static_cast<size_t>(m)] = scope.stats();
+  });
+  MergeWorkerStats(stats_slots);
+
+  // Error determinism: the lowest morsel's error is the one the
+  // sequential evaluation would have hit first.
+  for (Part& p : parts) {
+    if (!p.rows.ok()) {
+      *out = p.rows.status();
+      return true;
+    }
+  }
+  std::vector<std::vector<BindingRow>> runs;
+  runs.reserve(parts.size());
+  for (Part& p : parts) runs.push_back(std::move(p.rows).value());
+  *out = MergeSortedRuns(std::move(runs));
+  return true;
+}
+
+Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
+                                           const TupleSeq& in,
+                                           PatternAlgo algo,
+                                           const ParallelContext& par) {
+  // Pre-warm every document reachable from the input tuples' context
+  // fields before fanning out.
+  std::vector<const Document*> docs;
+  for (const Tuple& t : in) {
+    const xdm::Sequence* ctx = t.Get(tp.input_field);
+    if (ctx == nullptr) continue;
+    for (const xdm::Item& it : *ctx) {
+      if (!it.IsNode()) continue;
+      if (std::find(docs.begin(), docs.end(), it.node()->doc) == docs.end()) {
+        docs.push_back(it.node()->doc);
+        PrewarmPatternIndexes(*it.node()->doc, tp, algo);
+      }
+    }
+  }
+
+  std::vector<MorselRange> morsels = PlanMorsels(in.size(), par);
+  ThreadPool* pool = par.pool ? par.pool() : nullptr;
+  struct Part {
+    Result<TupleSeq> tuples = TupleSeq{};
+  };
+  std::vector<Part> parts(morsels.size());
+  std::vector<ExecStats> stats_slots(morsels.size());
+  auto run_morsel = [&](int m) {
+    ScopedExecStats scope;
+    const MorselRange& mr = morsels[static_cast<size_t>(m)];
+    TupleSeq out;
+    Status err = Status::OK();
+    for (size_t i = mr.begin; i < mr.end && err.ok(); ++i) {
+      const Tuple& t = in[i];
+      const xdm::Sequence* ctx = t.Get(tp.input_field);
+      if (ctx == nullptr) {
+        err = Status::Internal(
+            "TupleTreePattern input tuple lacks the context field");
+        break;
+      }
+      // par == nullptr: tuple-level workers must not nest into the pool
+      // (ThreadPool::Run is non-reentrant). EvalPattern still counts one
+      // pattern evaluation per tuple, exactly like the sequential loop.
+      Result<std::vector<BindingRow>> rows =
+          EvalPattern(tp, *ctx, algo, nullptr);
+      if (!rows.ok()) {
+        err = rows.status();
+        break;
+      }
+      for (const BindingRow& row : *rows) {
+        Tuple nt = t;
+        for (const auto& [sym, node] : row.fields) {
+          nt.Set(sym, xdm::Sequence{xdm::Item(node)});
+        }
+        out.push_back(std::move(nt));
+      }
+    }
+    parts[static_cast<size_t>(m)].tuples =
+        err.ok() ? Result<TupleSeq>(std::move(out))
+                 : Result<TupleSeq>(std::move(err));
+    stats_slots[static_cast<size_t>(m)] = scope.stats();
+  };
+  if (pool != nullptr && morsels.size() >= 2) {
+    pool->Run(static_cast<int>(morsels.size()), run_morsel);
+  } else {
+    for (size_t m = 0; m < morsels.size(); ++m) {
+      run_morsel(static_cast<int>(m));
+    }
+  }
+  MergeWorkerStats(stats_slots);
+
+  for (Part& p : parts) {
+    if (!p.tuples.ok()) return p.tuples.status();
+  }
+  size_t total = 0;
+  for (const Part& p : parts) total += p.tuples->size();
+  TupleSeq out;
+  out.reserve(total);
+  for (Part& p : parts) {
+    TupleSeq part = std::move(p.tuples).value();
+    std::move(part.begin(), part.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+}  // namespace xqtp::exec

@@ -1,0 +1,136 @@
+// Morsel-parallel execution of TupleTreePattern operators.
+//
+// The paper's payoff — a detected tree pattern is ONE coarse-grained
+// operator — makes that operator the natural unit of intra-query
+// parallelism: its root-input stream partitions into independent morsels,
+// each evaluated by any of the sequential algorithms, with an
+// order-preserving merge re-establishing the operator's Section 4.1
+// semantics (distinct bindings, root-to-leaf lexical order). The nested
+// Map/TreeJoin "old engine" plan has no such unit to cut.
+//
+// Two morselization strategies, chosen per evaluation:
+//
+//  1. context partitioning — when the pattern's context sequence is
+//     already wide (>= EvalOptions::parallel_min_fanout nodes), contiguous
+//     document-order ranges of the sorted context become morsels and each
+//     runs the unmodified pattern.
+//  2. root fan-out — the common optimized plan feeds ONE context node (the
+//     document root) per pattern. The driver expands the root step's
+//     candidate set directly from the per-tag index (the staircase-join
+//     region scan), rewrites the pattern to be self-rooted (the remainder:
+//     predicates + continuation, annotations preserved), and partitions
+//     the candidates into morsels.
+//
+// The pool is per query: a fixed set of threads with a shared atomic
+// morsel cursor — no work stealing, just finer-than-thread morsels for
+// load balance. Workers collect their ExecStats into per-morsel slots
+// that the driver merges into the calling scope on join, so counters stay
+// exact under parallelism. Pattern evaluation never touches the engine's
+// interner (see StringInterner::ExecutionFreeze); lazily-built document
+// indexes are pre-warmed before fan-out so Document::lazy_mu_ is only
+// ever taken on its shared (read) path by workers.
+#ifndef XQTP_EXEC_PARALLEL_H_
+#define XQTP_EXEC_PARALLEL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/pattern_eval.h"
+#include "exec/tuple.h"
+#include "pattern/tree_pattern.h"
+#include "xdm/item.h"
+
+namespace xqtp::exec {
+
+/// A fixed pool of worker threads executing batches of indexed morsels.
+/// Morsels are claimed from a single atomic cursor (morsel-driven, no
+/// stealing); the thread calling Run participates, so a pool of size N
+/// spawns N-1 workers. Run calls are serialized — a pool may be shared
+/// across threads, but morsel tasks must never invoke Run recursively
+/// (the nested call would wait on the pool it is running on).
+class ThreadPool {
+ public:
+  /// Resolves an EvalOptions::threads value: 0 means one thread per
+  /// hardware thread, anything else is taken literally (minimum 1).
+  static int ResolveThreads(int threads);
+
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) ... fn(count-1), each exactly once, distributed over the
+  /// pool plus the calling thread; returns when all have finished. `fn`
+  /// must not throw and must not call Run on this pool.
+  void Run(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  ///< serializes whole Run calls
+
+  std::mutex mu_;  ///< guards the batch state below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int count_ = 0;
+  int next_ = 0;
+  int done_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Per-evaluation parallelism parameters handed down from EvalOptions.
+/// `pool` is a lazy accessor so the (per-query) pool is only created once
+/// a pattern actually morselizes.
+struct ParallelContext {
+  std::function<ThreadPool*()> pool;
+  /// Resolved pool size (>= 2; a context is only built for parallel runs).
+  int threads = 2;
+  /// Minimum root fan-out (context nodes or root-step candidates) before
+  /// the driver morselizes; below it the sequential path runs.
+  int min_fanout = 256;
+  /// Morsel granularity: the driver targets threads * morsels_per_thread
+  /// morsels, never smaller than min_fanout / 4 units each.
+  int morsels_per_thread = 4;
+};
+
+/// Attempts morsel-parallel evaluation of `tp` over `context` with the
+/// (already cost-resolved) algorithm. Returns true and fills `*out` when
+/// the driver handled the evaluation; false when the input is not
+/// morselizable (small fan-out, non-node contexts, positional or
+/// non-downward root, multi-document context) and the sequential path
+/// should run instead. Results are bit-identical to the sequential
+/// algorithm: same rows, same order, same output fields.
+bool TryEvalPatternParallel(const pattern::TreePattern& tp,
+                            const xdm::Sequence& context, PatternAlgo algo,
+                            const ParallelContext& par,
+                            Result<std::vector<BindingRow>>* out);
+
+/// Morsel-parallel evaluation of one TupleTreePattern operator over a
+/// materialized input tuple sequence: tuple ranges become morsels, each
+/// tuple is evaluated with the sequential algorithm, and outputs are
+/// concatenated in input-tuple order (exactly the sequential loop's
+/// order). The caller has checked in.size() >= par.min_fanout.
+Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
+                                           const TupleSeq& in,
+                                           PatternAlgo algo,
+                                           const ParallelContext& par);
+
+/// Pre-builds the lazily-constructed per-tag streams (and, for the
+/// shredded algorithm, the relational NodeTable) that evaluating `tp`
+/// with `algo` will touch, so worker threads only ever hit the built
+/// fast path of Document's lazy getters.
+void PrewarmPatternIndexes(const xml::Document& doc,
+                           const pattern::TreePattern& tp, PatternAlgo algo);
+
+}  // namespace xqtp::exec
+
+#endif  // XQTP_EXEC_PARALLEL_H_

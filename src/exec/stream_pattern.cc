@@ -84,13 +84,13 @@ class StreamEval {
   /// extraction nodes (resolved by Finish()).
   void Run(const Node* context) {
     context_ = context;
-    // The context node itself can match self / descendant-or-self root
-    // steps; it opens as a virtual event around the whole region scan.
-    size_t n_self = StartSelfLike();
-    // The context node's own attributes are events of the region too: a
-    // root attribute step, or an attribute step under a self-like root
-    // instance, matches them before any child is streamed.
-    StartAttributes(context);
+    // The context node opens as a virtual event around the whole region
+    // scan: it can match a self / descendant-or-self root step, and —
+    // under a self-like root instance — any later self-like step too
+    // (e.g. the re-rooted self::t/descendant-or-self::node() patterns
+    // the morsel driver builds). Its attributes are events of the
+    // region as well, handled inside the start event.
+    size_t n_self = StartNode(context);
     struct Frame {
       const Node* node;
       size_t n_spawned;
@@ -153,18 +153,24 @@ class StreamEval {
     if (!xdm::MatchesTest(n, q.axis, q.test)) return;
     auto it = parent_step_.find(s);
     if (it == parent_step_.end()) {
-      // Root step: relative to the context node.
+      // Root step: relative to the context node (which is itself an
+      // event of the scan — only self-like axes may match it).
       switch (q.axis) {
         case Axis::kChild:
         case Axis::kAttribute:
           if (n->parent == context_) bases->push_back(nullptr);
           break;
         case Axis::kDescendant:
+          if (n != context_) bases->push_back(nullptr);
+          break;
         case Axis::kDescendantOrSelf:
-          bases->push_back(nullptr);  // anywhere inside the region
+          bases->push_back(nullptr);  // anywhere in the region, self too
+          break;
+        case Axis::kSelf:
+          if (n == context_) bases->push_back(nullptr);
           break;
         default:
-          break;  // self handled by StartSelfLike; others unreachable
+          break;  // others unreachable in pattern grammar
       }
       return;
     }
@@ -240,20 +246,6 @@ class StreamEval {
       }
     }
     EndNode(pushed_.size() - attr_marker);  // attributes close immediately
-  }
-
-  /// Spawns root instances for self-like matches of the context node.
-  size_t StartSelfLike() {
-    size_t spawned = 0;
-    // Only the root step can match the context node itself.
-    const PatternNode& q = *steps_[0];
-    if ((q.axis == Axis::kSelf || q.axis == Axis::kDescendantOrSelf) &&
-        xdm::MatchesTest(context_, q.axis, q.test)) {
-      Spawn(0, context_, nullptr);
-      ++spawned;
-      pushed_.push_back(0);
-    }
-    return spawned;
   }
 
   /// End event: close the last `count` spawned instances, resolving their

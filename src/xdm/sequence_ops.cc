@@ -12,6 +12,11 @@
 namespace xqtp::xdm {
 
 Result<Sequence> DistinctDocOrder(Sequence seq) {
+  // Proven-distinct input (single-output patterns and staircase steps emit
+  // document-ordered duplicate-free sequences by construction): skip the
+  // re-sort. Mixed node/atomic sequences fail the check, so the type-error
+  // path below is preserved.
+  if (IsDistinctDocOrdered(seq)) return seq;
   bool all_nodes = true;
   bool any_nodes = false;
   for (const Item& it : seq) {

@@ -4,7 +4,7 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -93,10 +93,13 @@ class Document {
 
   /// Guards all lazily-built structures below. Documents are immutable
   /// after Finish(), so queries over *compiled* plans may execute
-  /// concurrently; the first access to each index builds it under the
-  /// lock. (Compilation itself mutates the engine's interner and is not
-  /// thread-safe — see engine.h.)
-  mutable std::mutex lazy_mu_;
+  /// concurrently; the first access to each index builds it under an
+  /// exclusive lock, while already-built structures are returned under a
+  /// shared lock — the hot path of the morsel workers, which only ever
+  /// read pre-warmed indexes (exec/parallel.h pre-builds what a pattern
+  /// needs before fanning out). (Compilation itself mutates the engine's
+  /// interner and is not thread-safe — see engine.h.)
+  mutable std::shared_mutex lazy_mu_;
   mutable std::unordered_map<Symbol, std::vector<const Node*>> tag_index_;
   mutable std::unordered_map<Symbol, std::vector<const Node*>> attr_index_;
   mutable std::vector<const Node*> all_elements_;

@@ -76,6 +76,51 @@ TEST(ConcurrencyTest, ParallelExecutionOverColdIndexes) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Two morsel-parallel queries executing concurrently: each Execute spins
+// up its own per-query pool (threads = 2), so four workers total hammer
+// the same document's indexes while both drivers merge morsel runs.
+TEST(ConcurrencyTest, TwoMorselParallelQueriesConcurrently) {
+  engine::Engine e;
+  workload::MemberParams p;
+  p.node_count = 30000;
+  p.max_depth = 5;
+  p.num_tags = 100;
+  p.plant_twigs = 15;
+  const xml::Document* d =
+      e.AddDocument("m", workload::GenerateMember(p, e.interner()));
+
+  auto q1 = e.Compile("$input//t01[t02]/t03");
+  auto q2 = e.Compile("$input/desc::t04[desc::t03]");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(d->root())}}};
+
+  exec::EvalOptions opts;
+  opts.threads = 2;
+  opts.parallel_min_fanout = 4;
+
+  // Sequential references.
+  exec::EvalOptions seq = opts;
+  seq.threads = 1;
+  auto r1 = e.Execute(*q1, globals, seq);
+  auto r2 = e.Execute(*q2, globals, seq);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+
+  std::atomic<int> failures{0};
+  auto worker = [&](const engine::CompiledQuery& cq, size_t expected) {
+    for (int round = 0; round < 8; ++round) {
+      auto res = e.Execute(cq, globals, opts);
+      if (!res.ok() || res->size() != expected) ++failures;
+    }
+  };
+  std::thread t1(worker, std::cref(*q1), r1->size());
+  std::thread t2(worker, std::cref(*q2), r2->size());
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ConcurrencyTest, ParallelStatsAndIndexAccess) {
   engine::Engine e;
   workload::MemberParams p;

@@ -25,6 +25,37 @@ TEST(Interner, LookupWithoutInterning) {
   EXPECT_EQ(in.size(), 1u);
 }
 
+// The execution-freeze contract (read-only interner during Execute): the
+// morsel-parallel driver reads symbol streams from worker threads without
+// locking, which is only safe because nothing interns mid-query.
+TEST(Interner, ExecutionFreezeNests) {
+  StringInterner in;
+  Symbol a = in.Intern("before");
+  EXPECT_FALSE(in.frozen());
+  {
+    StringInterner::ExecutionFreeze outer(in);
+    EXPECT_TRUE(in.frozen());
+    {
+      StringInterner::ExecutionFreeze inner(in);
+      EXPECT_TRUE(in.frozen());
+      // Read paths stay available under the freeze.
+      EXPECT_EQ(in.Lookup("before"), a);
+      EXPECT_EQ(in.NameOf(a), "before");
+    }
+    EXPECT_TRUE(in.frozen());
+  }
+  EXPECT_FALSE(in.frozen());
+  EXPECT_NE(in.Intern("after"), a);
+}
+
+#ifndef NDEBUG
+TEST(InternerDeathTest, InternDuringExecutionAsserts) {
+  StringInterner in;
+  StringInterner::ExecutionFreeze freeze(in);
+  EXPECT_DEATH(in.Intern("mid-query"), "during execution");
+}
+#endif
+
 TEST(Status, CodesAndMessages) {
   Status ok = Status::OK();
   EXPECT_TRUE(ok.ok());

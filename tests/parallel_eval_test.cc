@@ -1,0 +1,210 @@
+// The morsel-parallel driver (exec/parallel.h) must be invisible in the
+// results: every algorithm, at every thread count, returns exactly the
+// sequence the sequential path returns — same items, same order, same
+// cardinality. parallel_min_fanout is forced down so even the small test
+// document actually morselizes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/parallel.h"
+#include "exec/pattern_eval.h"
+#include "workload/xmark_gen.h"
+#include "workload/xmark_queries.h"
+
+namespace xqtp::exec {
+namespace {
+
+constexpr PatternAlgo kAllAlgos[] = {
+    PatternAlgo::kNLJoin,    PatternAlgo::kStaircase, PatternAlgo::kTwig,
+    PatternAlgo::kStream,    PatternAlgo::kTwigStack, PatternAlgo::kShredded,
+};
+
+EvalOptions ParallelOpts(PatternAlgo algo, int threads) {
+  EvalOptions opts;
+  opts.algo = algo;
+  opts.threads = threads;
+  // Small enough that the XMark corpus queries morselize on a 0.03-factor
+  // document; small morsels exercise the merge on many runs.
+  opts.parallel_min_fanout = 4;
+  opts.parallel_morsels_per_thread = 4;
+  return opts;
+}
+
+class ParallelEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::XmarkParams p;
+    p.factor = 0.03;
+    doc_ = engine_.AddDocument("x", workload::GenerateXmark(p, engine_.interner()));
+  }
+
+  engine::Engine engine_;
+  const xml::Document* doc_;
+};
+
+// Tentpole acceptance: all six algorithms x {1, 2, 8} threads x the XMark
+// query corpus, bit-identical to the sequential result.
+TEST_F(ParallelEvalTest, BitIdenticalAcrossThreadsAndAlgorithms) {
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc_->root())}}};
+  for (const workload::XmarkQuery& q : workload::XmarkQueryCorpus()) {
+    auto cq = engine_.Compile(q.text);
+    ASSERT_TRUE(cq.ok()) << q.id << ": " << cq.status().ToString();
+    for (PatternAlgo algo : kAllAlgos) {
+      auto ref = engine_.Execute(*cq, globals, ParallelOpts(algo, 1));
+      ASSERT_TRUE(ref.ok())
+          << q.id << " [" << PatternAlgoName(algo) << "] sequential: "
+          << ref.status().ToString();
+      for (int threads : {2, 8}) {
+        auto res = engine_.Execute(*cq, globals, ParallelOpts(algo, threads));
+        ASSERT_TRUE(res.ok())
+            << q.id << " [" << PatternAlgoName(algo) << " t" << threads
+            << "]: " << res.status().ToString();
+        ASSERT_EQ(res->size(), ref->size())
+            << q.id << " [" << PatternAlgoName(algo) << " t" << threads << "]";
+        for (size_t i = 0; i < res->size(); ++i) {
+          ASSERT_TRUE((*res)[i] == (*ref)[i])
+              << q.id << " [" << PatternAlgoName(algo) << " t" << threads
+              << "] item " << i;
+        }
+      }
+    }
+  }
+}
+
+// The cost-based meta-algorithm resolves to a concrete algorithm before
+// the driver morselizes; it must agree with itself across thread counts.
+TEST_F(ParallelEvalTest, CostBasedAgreesAcrossThreads) {
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc_->root())}}};
+  auto cq = engine_.Compile("$input//person[emailaddress]//interest");
+  ASSERT_TRUE(cq.ok());
+  auto ref = engine_.Execute(*cq, globals,
+                             ParallelOpts(PatternAlgo::kCostBased, 1));
+  ASSERT_TRUE(ref.ok());
+  for (int threads : {2, 8}) {
+    auto res = engine_.Execute(*cq, globals,
+                               ParallelOpts(PatternAlgo::kCostBased, threads));
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res->size(), ref->size());
+    for (size_t i = 0; i < res->size(); ++i) {
+      EXPECT_TRUE((*res)[i] == (*ref)[i]) << "item " << i;
+    }
+  }
+}
+
+// Empty-input edge case: a query whose context sequence is empty must
+// return an empty sequence at every thread count without morselizing.
+TEST_F(ParallelEvalTest, EmptyInput) {
+  auto cq = engine_.Compile("$input//keyword");
+  ASSERT_TRUE(cq.ok());
+  engine::Engine::GlobalMap globals{{"input", {}}};
+  for (PatternAlgo algo : kAllAlgos) {
+    for (int threads : {1, 2, 8}) {
+      auto res = engine_.Execute(*cq, globals, ParallelOpts(algo, threads));
+      ASSERT_TRUE(res.ok())
+          << PatternAlgoName(algo) << " t" << threads << ": "
+          << res.status().ToString();
+      EXPECT_TRUE(res->empty()) << PatternAlgoName(algo) << " t" << threads;
+    }
+  }
+}
+
+// A query matching nothing (no such tag anywhere) exercises the merge of
+// all-empty morsel runs.
+TEST_F(ParallelEvalTest, EmptyResultAfterMorselizing) {
+  auto cq = engine_.Compile("$input//keyword/site");
+  ASSERT_TRUE(cq.ok());
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc_->root())}}};
+  for (PatternAlgo algo : kAllAlgos) {
+    for (int threads : {2, 8}) {
+      auto res = engine_.Execute(*cq, globals, ParallelOpts(algo, threads));
+      ASSERT_TRUE(res.ok()) << PatternAlgoName(algo) << " t" << threads;
+      EXPECT_TRUE(res->empty()) << PatternAlgoName(algo) << " t" << threads;
+    }
+  }
+}
+
+// Single-morsel edge case: with the fan-out floor above the candidate
+// count the driver must fall back to the plain sequential path (and still
+// return identical results).
+TEST_F(ParallelEvalTest, SingleMorselFallsBackToSequential) {
+  auto cq = engine_.Compile("$input//person[emailaddress]/name");
+  ASSERT_TRUE(cq.ok());
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc_->root())}}};
+  for (PatternAlgo algo : kAllAlgos) {
+    auto ref = engine_.Execute(*cq, globals, ParallelOpts(algo, 1));
+    ASSERT_TRUE(ref.ok());
+    EvalOptions opts = ParallelOpts(algo, 8);
+    opts.parallel_min_fanout = 1 << 30;  // never reached: one morsel max
+    auto res = engine_.Execute(*cq, globals, opts);
+    ASSERT_TRUE(res.ok()) << PatternAlgoName(algo);
+    ASSERT_EQ(res->size(), ref->size()) << PatternAlgoName(algo);
+    for (size_t i = 0; i < res->size(); ++i) {
+      EXPECT_TRUE((*res)[i] == (*ref)[i])
+          << PatternAlgoName(algo) << " item " << i;
+    }
+  }
+}
+
+// Regression: root fan-out re-roots the pattern with a self axis, a shape
+// the optimizer never builds. The Stream evaluator used to miss a later
+// descendant-or-self step matching the context node itself under the
+// self-rooted instance (found by the equiv_fuzz oracle).
+TEST(ParallelRerootTest, SelfRootedStreamKeepsContextMatches) {
+  engine::Engine e;
+  auto doc = e.LoadDocument("w", "<r><b><b><d/></b><a/></b></r>");
+  ASSERT_TRUE(doc.ok());
+  auto cq = e.Compile("$input/descendant::b/descendant-or-self::node()");
+  ASSERT_TRUE(cq.ok());
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item((*doc)->root())}}};
+  for (PatternAlgo algo : kAllAlgos) {
+    auto ref = e.Execute(*cq, globals, ParallelOpts(algo, 1));
+    ASSERT_TRUE(ref.ok()) << PatternAlgoName(algo);
+    ASSERT_EQ(ref->size(), 4u) << PatternAlgoName(algo);  // b, b, d, a
+    EvalOptions opts = ParallelOpts(algo, 2);
+    opts.parallel_min_fanout = 2;
+    opts.parallel_morsels_per_thread = 2;
+    auto res = e.Execute(*cq, globals, opts);
+    ASSERT_TRUE(res.ok()) << PatternAlgoName(algo);
+    ASSERT_EQ(res->size(), ref->size()) << PatternAlgoName(algo);
+    for (size_t i = 0; i < res->size(); ++i) {
+      EXPECT_TRUE((*res)[i] == (*ref)[i])
+          << PatternAlgoName(algo) << " item " << i;
+    }
+  }
+}
+
+// ThreadPool plumbing: ResolveThreads maps the EvalOptions encoding to an
+// actual worker count.
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);  // auto: hardware threads
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(2), 2);
+  EXPECT_EQ(ThreadPool::ResolveThreads(8), 8);
+}
+
+// The pool's batch protocol: every index claimed exactly once, across
+// repeated batches (generation counter resets next_ correctly).
+TEST(ThreadPoolTest, RunClaimsEachIndexOnce) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(97);
+    for (auto& h : hits) h.store(0);
+    pool.Run(static_cast<int>(hits.size()),
+             [&hits](int i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunWithZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.Run(0, [](int) { FAIL() << "fn called for empty batch"; });
+}
+
+}  // namespace
+}  // namespace xqtp::exec
