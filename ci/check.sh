@@ -16,19 +16,36 @@
 #     parallel queries running concurrently.
 #
 # Between the build/test legs:
+#  - the project lint gate (tools/lint.py): raw sync primitives outside
+#    common/mutex.h, stdout printing in library code, Status APIs without
+#    [[nodiscard]], include-guard naming — plus its --self-test, which
+#    proves each rule still fires on a seeded violation;
 #  - a clang-tidy pass (.clang-tidy profile, warnings-as-errors) over
 #    src/, skipped with a notice when clang-tidy is not installed;
+#  - a clang -Werror=thread-safety leg compiling the full library, so the
+#    capability annotations (common/thread_annotations.h) are PROVEN, not
+#    just present; skipped with a loud notice when clang++ is missing
+#    (gcc cannot check them) — never silently;
 #  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
 #    line is part of the gate's output — the deep seed-matrix sweep under
 #    sanitizers lives in ci/fuzz.sh;
 #  - a bounded smoke run of bench_parallel that drops the perf-trajectory
 #    records (--json) into BENCH_smoke.json at the repo root.
 #
+# Every leg owns its build directory (build-ci-release, build-ci-tsa,
+# build-ci-sanitize, build-ci-tsan; ci/fuzz.sh uses build-ci-fuzz) so one
+# leg's CMake cache (compiler, sanitizers, flags) can never poison
+# another's.
+#
 # Usage: ci/check.sh [jobs]   (defaults to all cores)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+echo "==== [lint] tools/lint.py self-test + gate ===="
+python3 tools/lint.py --self-test
+python3 tools/lint.py
 
 run_config() {
   local name="$1" dir="$2"
@@ -66,6 +83,34 @@ if command -v clang-tidy > /dev/null 2>&1; then
   echo "==== [clang-tidy] clean ===="
 else
   echo "==== [clang-tidy] SKIPPED: clang-tidy not installed ===="
+fi
+
+echo "==== [thread-safety] clang -Werror=thread-safety ===="
+CLANGXX=""
+for c in clang++ clang++-21 clang++-20 clang++-19 clang++-18 clang++-17 \
+         clang++-16 clang++-15 clang++-14; do
+  if command -v "$c" > /dev/null 2>&1; then
+    CLANGXX="$c"
+    break
+  fi
+done
+if [[ -n "$CLANGXX" ]]; then
+  # Own build tree: a different compiler must never touch another leg's
+  # CMake cache. -Wthread-safety comes from CMakeLists.txt (clang-only);
+  # the explicit -Werror=thread-safety here keeps the leg meaningful even
+  # without XQTP_WERROR.
+  cmake -B build-ci-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" -DXQTP_WERROR=ON \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety" > /dev/null
+  cmake --build build-ci-tsa -j "$JOBS" --target xqtp
+  echo "==== [thread-safety] library clean under $CLANGXX ===="
+  # Negative leg: each seeded lock-discipline misuse must FAIL to compile
+  # (and the positive control must pass), proving the annotations bite.
+  python3 tests/thread_safety_negative.py --src src
+else
+  echo "==== [thread-safety] SKIPPED: no clang++ on PATH ===="
+  echo "====   gcc cannot check the capability annotations; install"
+  echo "====   clang to prove lock discipline (-Werror=thread-safety)."
 fi
 
 echo "==== [equiv-fuzz] bounded differential sweep (Release) ===="

@@ -17,7 +17,10 @@ cd "$(dirname "$0")/.."
 ITERS="${1:-400}"
 JOBS="${2:-$(nproc)}"
 SEEDS=(1 2 3 7 42)
-DIR=build-ci-sanitize
+# Own build tree (same config as ci/check.sh's debug-sanitize leg, but a
+# separate cache): concurrent or aborted runs of one script must never
+# poison the other's CMake cache.
+DIR=build-ci-fuzz
 
 echo "==== [fuzz] configure + build (Debug, ASan/UBSan) ===="
 cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \

@@ -12,6 +12,7 @@
 namespace xqtp::algebra {
 
 /// Compiles a Core expression to an (item) algebra plan.
+[[nodiscard]]
 Result<OpPtr> Compile(const core::CoreExpr& e, const core::VarTable& vars,
                       StringInterner* interner);
 

@@ -67,6 +67,7 @@ struct OptimizeOptions {
 /// Rewrites `plan` in place. Field names are canonicalized afterwards
 /// (first field becomes "dot", then "out", "out1", ...) so that
 /// syntactic query variants yield byte-identical plans.
+[[nodiscard]]
 Status Optimize(OpPtr* plan, StringInterner* interner,
                 const OptimizeOptions& opts = {});
 

@@ -40,6 +40,7 @@ struct CoreVerifyOptions {
 
 /// Verifies `e` against the invariants above. OK, or Status::Internal
 /// naming the violated invariant, tagged with the active VerifyScope.
+[[nodiscard]]
 Status VerifyCore(const core::CoreExpr& e, const core::VarTable& vars,
                   const CoreVerifyOptions& opts = {});
 

@@ -34,6 +34,7 @@ bool ItemsAgree(const xdm::Item& a, const xdm::Item& b);
 /// binding rows against the nested-loop reference. Returns Internal on
 /// the first divergence, naming the algorithm, the pattern, and the first
 /// differing row index.
+[[nodiscard]]
 Status CrossCheckPattern(const pattern::TreePattern& tp,
                          const xdm::Sequence& context,
                          const StringInterner& interner);
@@ -54,6 +55,7 @@ struct CrossCheckInput {
 /// x each pattern algorithm) and compares all results against the first
 /// available route. Two erroring routes agree regardless of message.
 /// Returns Internal naming the diverging route on the first mismatch.
+[[nodiscard]]
 Status CrossCheck(const CrossCheckInput& in, const core::VarTable& vars,
                   const exec::Bindings& bindings);
 

@@ -54,16 +54,19 @@ class EquivChecker {
   /// error also counts as agreement — rewrites may legally reword
   /// errors). Returns Internal, tagged with the active VerifyScope, on
   /// the first divergence.
+  [[nodiscard]]
   Status CheckCore(const core::CoreExpr& before, const core::CoreExpr& after,
                    const core::VarTable& vars);
 
   /// Validates one algebraic rewrite round (plans evaluated with the
   /// nested-loop pattern algorithm; cross-algorithm agreement is the
   /// separate cross_check.h oracle).
+  [[nodiscard]]
   Status CheckPlan(const algebra::Op& before, const algebra::Op& after,
                    const core::VarTable& vars);
 
   /// Validates the Core -> algebra compilation step itself.
+  [[nodiscard]]
   Status CheckCoreVsPlan(const core::CoreExpr& core_form,
                          const algebra::Op& plan, const core::VarTable& vars);
 

@@ -62,6 +62,7 @@ struct PlanVerifyOptions {
 /// Verifies `plan` (an item plan, as produced by algebra::Compile) against
 /// the invariants above. OK, or Status::Internal naming the violated
 /// invariant, tagged with the active VerifyScope.
+[[nodiscard]]
 Status VerifyPlan(const algebra::Op& plan, const PlanVerifyOptions& opts = {});
 
 }  // namespace xqtp::analysis

@@ -50,7 +50,7 @@ class VerifyScope {
 
   /// Annotates a non-OK status with the active scope and fired trail:
   /// "<msg> [in <rule>] [after: <rule>, <rule>]".
-  static Status Tag(Status s);
+  [[nodiscard]] static Status Tag(Status s);
 
  private:
   const char* rule_;

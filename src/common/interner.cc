@@ -9,6 +9,7 @@ Symbol StringInterner::Intern(std::string_view name) {
          "StringInterner::Intern called during execution (an "
          "ExecutionFreeze is active) — all names must be interned during "
          "parse/compile/document build");
+  MutexLock lock(&mu_);
   auto it = map_.find(std::string(name));
   if (it != map_.end()) return it->second;
   Symbol sym = static_cast<Symbol>(names_.size());
@@ -18,8 +19,19 @@ Symbol StringInterner::Intern(std::string_view name) {
 }
 
 Symbol StringInterner::Lookup(std::string_view name) const {
+  MutexLock lock(&mu_);
   auto it = map_.find(std::string(name));
   return it == map_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& StringInterner::NameOf(Symbol sym) const {
+  MutexLock lock(&mu_);
+  return names_.at(static_cast<size_t>(sym));
+}
+
+size_t StringInterner::size() const {
+  MutexLock lock(&mu_);
+  return names_.size();
 }
 
 }  // namespace xqtp

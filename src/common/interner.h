@@ -7,10 +7,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace xqtp {
 
@@ -18,12 +21,16 @@ namespace xqtp {
 using Symbol = int32_t;
 inline constexpr Symbol kInvalidSymbol = -1;
 
-/// Bidirectional name <-> Symbol map. Not thread-safe for writers; one per
-/// Engine. Every name a query or document can refer to is interned during
-/// parsing / compilation / document building — execution only ever READS
-/// the interner (NameOf for error messages, Lookup never mutates). That
-/// contract is what makes the morsel workers of exec/parallel.h safe
-/// without a lock here; ExecutionFreeze turns it into a debug assertion.
+/// Bidirectional name <-> Symbol map; one per Engine. The table is guarded
+/// by an internal mutex, so any mix of Intern/Lookup/NameOf calls is safe
+/// — but the intended discipline is stronger and phase-based: every name a
+/// query or document can refer to is interned during parsing / compilation
+/// / document building, and execution only ever READS (NameOf for error
+/// messages; Lookup never mutates). ExecutionFreeze turns that phase
+/// contract into a debug assertion, so morsel workers never contend on the
+/// lock for anything but pointer-sized reads. Name storage is a deque:
+/// references returned by NameOf stay valid forever even if later Intern
+/// calls grow the table.
 class StringInterner {
  public:
   StringInterner() = default;
@@ -33,8 +40,8 @@ class StringInterner {
   /// RAII scope asserting "no interning while executing": while any
   /// ExecutionFreeze is alive, Intern() debug-asserts. Engine::Execute
   /// holds one around plan evaluation, so a code path that tries to
-  /// create a symbol mid-query (and would race concurrent readers) fails
-  /// fast in debug builds instead of corrupting the map.
+  /// create a symbol mid-query fails fast in debug builds instead of
+  /// serializing the morsel workers on the table lock.
   class ExecutionFreeze {
    public:
     explicit ExecutionFreeze(const StringInterner& interner)
@@ -53,16 +60,16 @@ class StringInterner {
 
   /// Returns the symbol for `name`, creating it on first use. Must not be
   /// called while an ExecutionFreeze is active (debug-asserted).
-  Symbol Intern(std::string_view name);
+  Symbol Intern(std::string_view name) EXCLUDES(mu_);
 
   /// Returns the symbol for `name` or kInvalidSymbol if never interned.
-  /// Read-only: safe to call concurrently while no Intern runs.
-  Symbol Lookup(std::string_view name) const;
+  Symbol Lookup(std::string_view name) const EXCLUDES(mu_);
 
-  /// Returns the name for a valid symbol. Read-only, like Lookup.
-  const std::string& NameOf(Symbol sym) const { return names_.at(sym); }
+  /// Returns the name for a valid symbol. The reference is stable for the
+  /// interner's lifetime (deque storage — growth never moves entries).
+  const std::string& NameOf(Symbol sym) const EXCLUDES(mu_);
 
-  size_t size() const { return names_.size(); }
+  size_t size() const EXCLUDES(mu_);
 
   /// True while any ExecutionFreeze is alive (exposed for tests).
   bool frozen() const {
@@ -70,10 +77,12 @@ class StringInterner {
   }
 
  private:
-  std::unordered_map<std::string, Symbol> map_;
-  std::vector<std::string> names_;
-  /// Number of live ExecutionFreeze scopes. Mutable + atomic: freezing is
-  /// a logically-const observation concern, and nested freezes (engine
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Symbol> map_ GUARDED_BY(mu_);
+  std::deque<std::string> names_ GUARDED_BY(mu_);
+  /// Number of live ExecutionFreeze scopes. Atomic rather than
+  /// GUARDED_BY(mu_): freezing is a logically-const observation concern
+  /// that must not contend with the table lock, and nested freezes (engine
   /// Execute inside an analysis cross-check) must both count.
   mutable std::atomic<int> freeze_count_{0};
 };

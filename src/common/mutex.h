@@ -1,0 +1,139 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::shared_mutex / std::condition_variable carrying the clang
+// thread-safety capability attributes (common/thread_annotations.h).
+//
+// This header is the ONLY place in src/ allowed to name the std
+// synchronization types — tools/lint.py (rule raw-sync) rejects
+// std::mutex, std::lock_guard, .lock() etc. anywhere else, because a raw
+// std type is invisible to the static analysis: a std::lock_guard
+// acquires nothing as far as -Wthread-safety is concerned, so every
+// GUARDED_BY member it protects would need an escape hatch. Keeping all
+// lock traffic on these wrappers is what lets the analysis prove whole-
+// program lock discipline.
+//
+// The wrappers add no state and no virtual dispatch; every method is a
+// single inlined call on the underlying std primitive.
+#ifndef XQTP_COMMON_MUTEX_H_
+#define XQTP_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace xqtp {
+
+class CondVar;
+
+/// Exclusive mutex (a "mutex" capability). Prefer the scoped MutexLock
+/// over manual Lock/Unlock pairs; the manual API exists for the rare
+/// acquire-here-release-there shape, which the annotations still check.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  ///< CondVar::Wait needs the native handle
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (a "shared_mutex" capability): one writer or any
+/// number of readers. Scoped forms: WriterLock / ReaderLock.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  // Generic release: a scoped capability's destructor releases whatever
+  // mode its constructor acquired (per the clang analysis model).
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable usable with Mutex. Wait takes the Mutex explicitly
+/// so the REQUIRES annotation can tie the wait to the lock; spurious
+/// wakeups are possible, so always wait in a `while (!condition)` loop —
+/// a loop (not a lambda predicate) keeps the condition's guarded reads
+/// inside the annotated caller where the analysis can see the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously
+  /// woken), and re-acquires `mu` before returning. The capability is
+  /// held across the call from the analysis's point of view, matching
+  /// the caller's view: the lock is held again when Wait returns.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's scope
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xqtp
+
+#endif  // XQTP_COMMON_MUTEX_H_

@@ -21,22 +21,30 @@ enum class StatusCode {
 };
 
 /// Outcome of a fallible operation: either OK or a code plus message.
-class Status {
+/// [[nodiscard]] on the class makes ignoring ANY returned Status a
+/// compiler diagnostic (an error under -Werror / the CI gate); a call
+/// site that truly wants to drop one must say so with a void cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
+  [[nodiscard]]
   static Status OK() { return Status(); }
+  [[nodiscard]]
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  [[nodiscard]]
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  [[nodiscard]]
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  [[nodiscard]]
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -55,7 +63,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Modeled on arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {    // NOLINT(google-explicit-constructor)

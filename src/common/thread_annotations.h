@@ -1,0 +1,102 @@
+// Clang thread-safety-analysis annotation macros (no-ops elsewhere).
+//
+// These wrap the capability attributes documented in
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that lock
+// discipline is machine-checked at compile time: `clang++ -Wthread-safety`
+// (promoted to an error by the CI gate, ci/check.sh) proves that every
+// access to a GUARDED_BY member happens with the named capability held,
+// on every path, including the interleavings no test executes. Under any
+// other compiler every macro expands to nothing, so the annotations cost
+// nothing at runtime and nothing under gcc.
+//
+// Conventions in this codebase (see DESIGN.md, "Static concurrency
+// analysis"):
+//  - never use std::mutex / std::lock_guard directly; use the annotated
+//    wrappers in common/mutex.h (enforced textually by tools/lint.py,
+//    rule raw-sync — the analysis cannot see through unannotated types);
+//  - GUARDED_BY on every member that a thread other than the owner can
+//    touch; PT_GUARDED_BY when the *pointee* (not the pointer cell) is
+//    the shared state;
+//  - REQUIRES / REQUIRES_SHARED on private helpers that expect a caller
+//    to hold the lock, instead of commenting "caller must hold mu_".
+#ifndef XQTP_COMMON_THREAD_ANNOTATIONS_H_
+#define XQTP_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define XQTP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define XQTP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a class to be a capability (a lock). The string names the
+/// capability kind in diagnostics ("mutex", "shared_mutex").
+#define CAPABILITY(x) XQTP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock, ReaderLock, ...).
+#define SCOPED_CAPABILITY XQTP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member may only be read or written while holding the capability.
+#define GUARDED_BY(x) XQTP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose POINTEE may only be touched while holding the
+/// capability (the pointer cell itself is unguarded).
+#define PT_GUARDED_BY(x) XQTP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations on mutex members: this mutex must be
+/// acquired before/after the named ones (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held (exclusively / shared) on
+/// entry, and does not release it.
+#define REQUIRES(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared); it must not be
+/// held on entry and is held on exit.
+#define ACQUIRE(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either mode —
+/// RELEASE_GENERIC is what a scoped capability's destructor wants when the
+/// scope may hold the lock in either mode).
+#define RELEASE(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability and returns `b` on success.
+#define TRY_ACQUIRE(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant entry points).
+#define EXCLUDES(...) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Dynamic assertion that the capability is held (for code reached only
+/// under a lock the analysis cannot follow).
+#define ASSERT_CAPABILITY(x) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability (accessor).
+#define RETURN_CAPABILITY(x) XQTP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function is deliberately not analyzed. Every use
+/// must carry a comment saying why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  XQTP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // XQTP_COMMON_THREAD_ANNOTATIONS_H_

@@ -30,6 +30,7 @@ namespace xqtp::core {
 
 /// Normalizes a surface expression. Free variables of the query are
 /// registered as globals in `vars`.
+[[nodiscard]]
 Result<CoreExprPtr> Normalize(const xquery::Expr& e, VarTable* vars);
 
 }  // namespace xqtp::core

@@ -55,6 +55,7 @@ struct RewriteOptions {
 
 /// Rewrites `e` to TPNF'. Always terminates (bounded rounds); each round
 /// applies every enabled rule family once, bottom-up.
+[[nodiscard]]
 Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
                                   const RewriteOptions& opts = {});
 

@@ -117,6 +117,7 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Parses and registers an XML document under `name`.
+  [[nodiscard]]
   Result<const xml::Document*> LoadDocument(const std::string& name,
                                             std::string_view xml_text);
 
@@ -129,6 +130,7 @@ class Engine {
   const xml::Document* FindDocument(const std::string& name) const;
 
   /// Compiles a query through all phases.
+  [[nodiscard]]
   Result<CompiledQuery> Compile(std::string_view query,
                                 const CompileOptions& opts = {});
 
@@ -137,6 +139,7 @@ class Engine {
 
   /// Executes a compiled query. This legacy entry point is the sequential
   /// path (threads = 1), keeping per-algorithm ExecStats deterministic.
+  [[nodiscard]]
   Result<xdm::Sequence> Execute(
       const CompiledQuery& q, const GlobalMap& globals,
       exec::PatternAlgo algo = exec::PatternAlgo::kNLJoin,
@@ -146,6 +149,7 @@ class Engine {
   /// EvalOptions::threads for the morsel-parallel driver (exec/parallel.h;
   /// 0 = one thread per hardware thread). Evaluation runs under a
   /// StringInterner::ExecutionFreeze: no name may be interned mid-query.
+  [[nodiscard]]
   Result<xdm::Sequence> Execute(const CompiledQuery& q,
                                 const GlobalMap& globals,
                                 const exec::EvalOptions& opts,
@@ -153,6 +157,7 @@ class Engine {
 
   /// One-shot convenience: compile + execute against a single document
   /// bound to every free variable of the query.
+  [[nodiscard]]
   Result<xdm::Sequence> Run(std::string_view query, const xml::Document& doc,
                             exec::PatternAlgo algo = exec::PatternAlgo::kNLJoin,
                             const CompileOptions& opts = {});

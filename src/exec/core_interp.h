@@ -10,6 +10,7 @@
 namespace xqtp::exec {
 
 /// Evaluates a Core expression under global bindings.
+[[nodiscard]]
 Result<xdm::Sequence> EvaluateCore(const core::CoreExpr& e,
                                    const core::VarTable& vars,
                                    const Bindings& bindings);

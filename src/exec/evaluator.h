@@ -34,6 +34,7 @@ struct EvalOptions {
 using Bindings = std::unordered_map<core::VarId, xdm::Sequence>;
 
 /// Evaluates a compiled (item) plan against global bindings.
+[[nodiscard]]
 Result<xdm::Sequence> Evaluate(const algebra::Op& plan,
                                const core::VarTable& vars,
                                const Bindings& bindings,

@@ -13,6 +13,7 @@ namespace xqtp::exec {
 
 /// Applies a Core function to evaluated arguments. Arity has been checked
 /// at normalization time.
+[[nodiscard]]
 Result<xdm::Sequence> ApplyCoreFn(core::CoreFn fn,
                                   const std::vector<xdm::Sequence>& args);
 

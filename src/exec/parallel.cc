@@ -41,10 +41,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -53,10 +53,13 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     const std::function<void(int)>* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (fn_ != nullptr && generation_ != seen);
-      });
+      MutexLock lock(&mu_);
+      // Explicit wait loop (not a predicate lambda): the guarded reads of
+      // stop_/fn_/generation_ stay in this annotated scope, where the
+      // thread-safety analysis can see mu_ is held.
+      while (!stop_ && (fn_ == nullptr || generation_ == seen)) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       seen = generation_;
       fn = fn_;
@@ -64,13 +67,13 @@ void ThreadPool::WorkerLoop() {
     for (;;) {
       int i;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (fn_ != fn || generation_ != seen || next_ >= count_) break;
         i = next_++;
       }
       (*fn)(i);
-      std::lock_guard<std::mutex> lock(mu_);
-      if (++done_ == count_) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (++done_ == count_) done_cv_.NotifyAll();
     }
   }
 }
@@ -81,30 +84,30 @@ void ThreadPool::Run(int count, const std::function<void(int)>& fn) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn_ = &fn;
     count_ = count;
     next_ = 0;
     done_ = 0;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread claims morsels alongside the workers.
   for (;;) {
     int i;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (next_ >= count_) break;
       i = next_++;
     }
     fn(i);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (++done_ == count_) done_cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (++done_ == count_) done_cv_.NotifyAll();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return done_ == count_; });
+  MutexLock lock(&mu_);
+  while (done_ != count_) done_cv_.Wait(mu_);
   fn_ = nullptr;
 }
 

@@ -32,13 +32,13 @@
 #ifndef XQTP_EXEC_PARALLEL_H_
 #define XQTP_EXEC_PARALLEL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/pattern_eval.h"
 #include "exec/tuple.h"
 #include "pattern/tree_pattern.h"
@@ -67,24 +67,28 @@ class ThreadPool {
 
   /// Runs fn(0) ... fn(count-1), each exactly once, distributed over the
   /// pool plus the calling thread; returns when all have finished. `fn`
-  /// must not throw and must not call Run on this pool.
-  void Run(int count, const std::function<void(int)>& fn);
+  /// must not throw and must not call Run on this pool (the EXCLUDES
+  /// turns a same-thread re-entry into a compile-time diagnostic).
+  void Run(int count, const std::function<void(int)>& fn)
+      EXCLUDES(run_mu_, mu_);
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex run_mu_;  ///< serializes whole Run calls
+  /// Serializes whole Run calls; always taken before mu_ (the
+  /// ACQUIRED_BEFORE declaration lets clang check the ordering).
+  Mutex run_mu_ ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;  ///< guards the batch state below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* fn_ = nullptr;
-  int count_ = 0;
-  int next_ = 0;
-  int done_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;  ///< guards the batch state below
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* fn_ GUARDED_BY(mu_) = nullptr;
+  int count_ GUARDED_BY(mu_) = 0;
+  int next_ GUARDED_BY(mu_) = 0;
+  int done_ GUARDED_BY(mu_) = 0;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Per-evaluation parallelism parameters handed down from EvalOptions.
@@ -119,6 +123,7 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
 /// tuple is evaluated with the sequential algorithm, and outputs are
 /// concatenated in input-tuple order (exactly the sequential loop's
 /// order). The caller has checked in.size() >= par.min_fanout.
+[[nodiscard]]
 Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
                                            const TupleSeq& in,
                                            PatternAlgo algo,

@@ -63,6 +63,7 @@ struct BindingRow {
 /// order. With a non-null `par`, evaluations whose root fan-out crosses
 /// the morsel threshold run on the parallel driver (exec/parallel.h) with
 /// bit-identical results; everything else takes the sequential path.
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPattern(const pattern::TreePattern& tp,
                                             const xdm::Sequence& context,
                                             PatternAlgo algo,
@@ -73,6 +74,7 @@ Result<std::vector<BindingRow>> EvalPattern(const pattern::TreePattern& tp,
 /// pattern evaluation. The morsel driver calls this per morsel so
 /// ExecStats::pattern_evals stays exact — one count per operator
 /// evaluation, however many morsels it fans out into.
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternSequential(
     const pattern::TreePattern& tp, const xdm::Sequence& context,
     PatternAlgo algo);
@@ -89,14 +91,19 @@ bool RowLexLess(const BindingRow& a, const BindingRow& b);
 void FinalizeRows(std::vector<BindingRow>* rows);
 
 // Individual algorithm entry points (used directly by unit tests).
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternNL(const pattern::TreePattern& tp,
                                               const xdm::Sequence& context);
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternStaircase(
     const pattern::TreePattern& tp, const xdm::Sequence& context);
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternTwig(const pattern::TreePattern& tp,
                                                 const xdm::Sequence& context);
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternStream(
     const pattern::TreePattern& tp, const xdm::Sequence& context);
+[[nodiscard]]
 Result<std::vector<BindingRow>> EvalPatternTwigStack(
     const pattern::TreePattern& tp, const xdm::Sequence& context);
 

@@ -79,6 +79,7 @@ class NodeTable : public xml::DocumentExtension {
 /// Evaluates a tree pattern against the shredded table (the relational
 /// staircase join over the accelerator encoding). Same semantics and
 /// restrictions as the pointer-based staircase join.
+[[nodiscard]]
 Result<std::vector<exec::BindingRow>> EvalPatternShredded(
     const pattern::TreePattern& tp, const xdm::Sequence& context);
 

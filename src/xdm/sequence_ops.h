@@ -14,7 +14,7 @@ namespace xqtp::xdm {
 /// removes duplicate nodes (by identity). Errors if the sequence mixes
 /// nodes and atomic values (ddo is only defined on node sequences); a pure
 /// atomic sequence is returned unchanged only if empty.
-Result<Sequence> DistinctDocOrder(Sequence seq);
+[[nodiscard]] Result<Sequence> DistinctDocOrder(Sequence seq);
 
 /// True iff `seq` is already sorted in document order with no duplicate
 /// nodes. Used by tests and by assertions in the evaluators.
@@ -23,7 +23,7 @@ bool IsDistinctDocOrdered(const Sequence& seq);
 /// fn:boolean — the effective boolean value.
 /// Rules (XPath 2.0 fragment): empty -> false; first item a node -> true;
 /// singleton boolean/number/string -> the usual EBV; anything else -> error.
-Result<bool> EffectiveBooleanValue(const Sequence& seq);
+[[nodiscard]] Result<bool> EffectiveBooleanValue(const Sequence& seq);
 
 /// Comparison operators for general comparisons.
 enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -38,11 +38,12 @@ const char* ArithOpName(ArithOp op);
 /// Binary arithmetic per XQuery: operands are atomized (nodes contribute
 /// the numeric value of their string-value) and must be singletons; an
 /// empty operand yields the empty sequence; idiv yields an integer.
+[[nodiscard]]
 Result<Sequence> EvalArith(ArithOp op, const Sequence& lhs,
                            const Sequence& rhs);
 
 /// Atomized string value of an at-most-one-item sequence ("" if empty).
-Result<std::string> StringArg(const Sequence& seq);
+[[nodiscard]] Result<std::string> StringArg(const Sequence& seq);
 
 /// Numeric value of an item (nodes/strings parse their text; NaN if the
 /// text is not a number).
@@ -51,6 +52,7 @@ double NumericValue(const Item& item);
 /// General comparison: existential over the atomized operands, with
 /// untyped values coerced to the type of the other operand (numeric if the
 /// other side is numeric, string otherwise).
+[[nodiscard]]
 Result<bool> GeneralCompare(CompareOp op, const Sequence& lhs,
                             const Sequence& rhs);
 

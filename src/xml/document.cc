@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
 
 namespace xqtp::xml {
 
@@ -11,11 +10,11 @@ const std::vector<const Node*>& Document::ElementsByTag(Symbol tag) const {
   // never mutate, so the common case is a shared-lock lookup; only the
   // first request for a tag takes the exclusive lock to build.
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     auto it = tag_index_.find(tag);
     if (it != tag_index_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   auto it = tag_index_.find(tag);  // re-check: a racing builder may have won
   if (it != tag_index_.end()) return it->second;
   std::vector<const Node*>& vec = tag_index_[tag];
@@ -30,10 +29,10 @@ const std::vector<const Node*>& Document::AllElements() const {
   // own entry points; take it recursively-safely by building through a
   // private unlocked helper instead.
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     if (all_elements_built_) return all_elements_;
   }
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   return AllElementsLocked();
 }
 
@@ -53,10 +52,10 @@ const std::vector<const Node*>& Document::AllElementsLocked() const {
 
 const std::vector<const Node*>& Document::TextNodes() const {
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     if (text_nodes_built_) return text_nodes_;
   }
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   if (!text_nodes_built_) {
     for (const Node& n : arena_) {
       if (n.kind == NodeKind::kText) text_nodes_.push_back(&n);
@@ -70,10 +69,10 @@ const std::vector<const Node*>& Document::TextNodes() const {
 
 const std::vector<const Node*>& Document::AllNodes() const {
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     if (all_nodes_built_) return all_nodes_;
   }
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   if (!all_nodes_built_) {
     for (const Node& n : arena_) {
       if (n.kind != NodeKind::kAttribute) all_nodes_.push_back(&n);
@@ -87,13 +86,13 @@ const std::vector<const Node*>& Document::AllNodes() const {
 
 const DocumentStats& Document::Stats() const {
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     if (stats_built_) return stats_;
   }
   // Warm the dependencies before taking the lock (they lock themselves).
   const size_t all_nodes = AllNodes().size();
   AllElements();
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   if (!stats_built_) {
     stats_.node_count = static_cast<int64_t>(all_nodes);
     int64_t internal = 0;
@@ -123,11 +122,11 @@ const DocumentStats& Document::Stats() const {
 
 const std::vector<const Node*>& Document::AttributesByName(Symbol name) const {
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     auto it = attr_index_.find(name);
     if (it != attr_index_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   auto it = attr_index_.find(name);
   if (it != attr_index_.end()) return it->second;
   std::vector<const Node*>& vec = attr_index_[name];
@@ -146,11 +145,11 @@ const DocumentExtension* Document::GetOrBuildExtension(
   // Build outside the lock (the factory reads lazily-built structures
   // that take the lock themselves), then publish under the lock.
   {
-    std::shared_lock<std::shared_mutex> lock(lazy_mu_);
+    ReaderLock lock(&lazy_mu_);
     if (extension_ != nullptr) return extension_.get();
   }
   std::unique_ptr<DocumentExtension> built(factory(*this));
-  std::unique_lock<std::shared_mutex> lock(lazy_mu_);
+  WriterLock lock(&lazy_mu_);
   if (extension_ == nullptr) extension_ = std::move(built);
   return extension_.get();
 }

@@ -4,12 +4,13 @@
 
 #include <deque>
 #include <memory>
-#include <shared_mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/interner.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "xml/node.h"
 
 namespace xqtp::xml {
@@ -83,8 +84,11 @@ class Document {
     return &arena_.back();
   }
 
-  /// Builds/returns the element list; caller must hold lazy_mu_.
-  const std::vector<const Node*>& AllElementsLocked() const;
+  /// Builds/returns the element list; requires lazy_mu_ held exclusively
+  /// (machine-checked: callers without the writer lock fail to compile
+  /// under clang -Wthread-safety).
+  const std::vector<const Node*>& AllElementsLocked() const
+      REQUIRES(lazy_mu_);
 
   StringInterner* interner_;
   std::deque<Node> arena_;
@@ -99,18 +103,23 @@ class Document {
   /// read pre-warmed indexes (exec/parallel.h pre-builds what a pattern
   /// needs before fanning out). (Compilation itself mutates the engine's
   /// interner and is not thread-safe — see engine.h.)
-  mutable std::shared_mutex lazy_mu_;
-  mutable std::unordered_map<Symbol, std::vector<const Node*>> tag_index_;
-  mutable std::unordered_map<Symbol, std::vector<const Node*>> attr_index_;
-  mutable std::vector<const Node*> all_elements_;
-  mutable bool all_elements_built_ = false;
-  mutable std::vector<const Node*> text_nodes_;
-  mutable bool text_nodes_built_ = false;
-  mutable std::vector<const Node*> all_nodes_;
-  mutable bool all_nodes_built_ = false;
-  mutable DocumentStats stats_;
-  mutable bool stats_built_ = false;
-  mutable std::unique_ptr<DocumentExtension> extension_;
+  mutable SharedMutex lazy_mu_;
+  mutable std::unordered_map<Symbol, std::vector<const Node*>> tag_index_
+      GUARDED_BY(lazy_mu_);
+  mutable std::unordered_map<Symbol, std::vector<const Node*>> attr_index_
+      GUARDED_BY(lazy_mu_);
+  mutable std::vector<const Node*> all_elements_ GUARDED_BY(lazy_mu_);
+  mutable bool all_elements_built_ GUARDED_BY(lazy_mu_) = false;
+  mutable std::vector<const Node*> text_nodes_ GUARDED_BY(lazy_mu_);
+  mutable bool text_nodes_built_ GUARDED_BY(lazy_mu_) = false;
+  mutable std::vector<const Node*> all_nodes_ GUARDED_BY(lazy_mu_);
+  mutable bool all_nodes_built_ GUARDED_BY(lazy_mu_) = false;
+  mutable DocumentStats stats_ GUARDED_BY(lazy_mu_);
+  mutable bool stats_built_ GUARDED_BY(lazy_mu_) = false;
+  /// The pointer cell is guarded; the pointee is deliberately NOT
+  /// PT_GUARDED_BY: an extension is immutable once published under the
+  /// lock, so readers dereference it lock-free (see DESIGN.md).
+  mutable std::unique_ptr<DocumentExtension> extension_ GUARDED_BY(lazy_mu_);
 };
 
 /// Incremental builder. Usage:

@@ -14,6 +14,7 @@
 namespace xqtp::xml {
 
 /// Parses `input` into a Document whose names are interned in `interner`.
+[[nodiscard]]
 Result<std::unique_ptr<Document>> Parse(std::string_view input,
                                         StringInterner* interner);
 

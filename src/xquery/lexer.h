@@ -49,7 +49,7 @@ struct Token {
 };
 
 /// Tokenizes the whole input. XQuery comments `(: ... :)` are skipped.
-Result<std::vector<Token>> Lex(std::string_view input);
+[[nodiscard]] Result<std::vector<Token>> Lex(std::string_view input);
 
 }  // namespace xqtp::xquery
 

@@ -11,6 +11,7 @@ namespace xqtp::xquery {
 
 /// Parses a query. Names (tags, attribute names) are interned in
 /// `interner` so they can be compared against document tags downstream.
+[[nodiscard]]
 Result<ExprPtr> ParseQuery(std::string_view query, StringInterner* interner);
 
 }  // namespace xqtp::xquery

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Compile-time negative tests for the thread-safety annotations.
+
+Each NEGATIVE fixture below misuses the annotated lock wrappers
+(common/mutex.h) in a way that clang's -Werror=thread-safety must reject:
+reading a GUARDED_BY member without the lock, locking the wrong mutex,
+calling a REQUIRES function without holding the capability, and leaking a
+manually acquired lock. The POSITIVE control uses the wrappers correctly
+and must compile cleanly — which also proves the macros are not inert
+no-ops under the clang being used.
+
+If no clang++ with -Wthread-safety support is available the script exits
+77, which ctest reports as SKIPPED (tests/CMakeLists.txt sets
+SKIP_RETURN_CODE 77) — visible, never a silent pass.
+
+Registered by CMake behind XQTP_THREAD_SAFETY_NEGATIVE_TESTS (default ON).
+Stdlib only.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+COMMON = """
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+using xqtp::CondVar;
+using xqtp::Mutex;
+using xqtp::MutexLock;
+using xqtp::ReaderLock;
+using xqtp::SharedMutex;
+using xqtp::WriterLock;
+"""
+
+POSITIVE_CONTROL = COMMON + """
+class Counter {
+ public:
+  int Get() const {
+    MutexLock lock(&mu_);
+    return v_;
+  }
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++v_;
+  }
+  int GetShared() const {
+    ReaderLock lock(&smu_);
+    return w_;
+  }
+  void SetShared(int w) {
+    WriterLock lock(&smu_);
+    w_ = w;
+  }
+  void WaitNonZero() {
+    MutexLock lock(&mu_);
+    while (v_ == 0) cv_.Wait(mu_);
+  }
+ private:
+  int Unsafe() REQUIRES(mu_) { return v_; }
+  mutable Mutex mu_;
+  CondVar cv_;
+  int v_ GUARDED_BY(mu_) = 0;
+  mutable SharedMutex smu_;
+  int w_ GUARDED_BY(smu_) = 0;
+};
+int main() { Counter c; c.Bump(); return c.Get() + c.GetShared(); }
+"""
+
+NEGATIVES = {
+    "guarded-read-without-lock": COMMON + """
+class C {
+ public:
+  int Get() const { return v_; }  // BAD: v_ is GUARDED_BY(mu_), no lock
+ private:
+  mutable Mutex mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+int main() { return C().Get(); }
+""",
+    "wrong-mutex-held": COMMON + """
+class C {
+ public:
+  int Get() const {
+    MutexLock lock(&other_mu_);  // BAD: locks the wrong mutex
+    return v_;
+  }
+ private:
+  mutable Mutex mu_;
+  mutable Mutex other_mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+int main() { return C().Get(); }
+""",
+    "requires-called-without-lock": COMMON + """
+class C {
+ public:
+  int Get() const { return Locked(); }  // BAD: REQUIRES(mu_) not held
+ private:
+  int Locked() const REQUIRES(mu_) { return v_; }
+  mutable Mutex mu_;
+  int v_ GUARDED_BY(mu_) = 0;
+};
+int main() { return C().Get(); }
+""",
+    "lock-leaked-at-return": COMMON + """
+class C {
+ public:
+  void Acquire() { mu_.Lock(); }  // BAD: still held at end of function
+ private:
+  Mutex mu_;
+};
+int main() { C c; c.Acquire(); return 0; }
+""",
+    "shared-lock-for-write": COMMON + """
+class C {
+ public:
+  void Set(int v) {
+    ReaderLock lock(&smu_);  // BAD: writing under a shared lock
+    v_ = v;
+  }
+ private:
+  SharedMutex smu_;
+  int v_ GUARDED_BY(smu_) = 0;
+};
+int main() { C c; c.Set(1); return 0; }
+""",
+}
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+
+
+def find_clang():
+    candidates = [os.environ.get("CLANGXX", "")]
+    candidates += ["clang++"] + [f"clang++-{v}" for v in range(21, 11, -1)]
+    for c in candidates:
+        if c and shutil.which(c):
+            return shutil.which(c)
+    return None
+
+
+def compile_snippet(clangxx, src_dir, workdir, name, code):
+    path = os.path.join(workdir, name + ".cc")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(code)
+    proc = subprocess.run([clangxx, *FLAGS, "-I", src_dir, path],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--src", required=True, help="path to the src/ tree")
+    args = ap.parse_args()
+
+    clangxx = find_clang()
+    if clangxx is None:
+        print("SKIP: no clang++ on PATH — thread-safety negative tests "
+              "need clang (gcc has no -Wthread-safety). Install clang or "
+              "set CLANGXX to run them.")
+        return 77
+
+    with tempfile.TemporaryDirectory(prefix="xqtp-tsa-") as tmp:
+        # Positive control first: must compile, proving the toolchain
+        # understands the annotations AND the macros are not inert.
+        rc, err = compile_snippet(clangxx, args.src, tmp, "positive",
+                                  POSITIVE_CONTROL)
+        if rc != 0:
+            if "unknown warning option" in err or "unsupported option" in err:
+                print(f"SKIP: {clangxx} does not support -Wthread-safety:\n"
+                      f"{err}")
+                return 77
+            print(f"FAIL: positive control did not compile under {clangxx}"
+                  f" -Werror=thread-safety:\n{err}")
+            return 1
+
+        failures = []
+        for name, code in sorted(NEGATIVES.items()):
+            rc, err = compile_snippet(clangxx, args.src, tmp, name, code)
+            if rc == 0:
+                failures.append(f"{name}: compiled cleanly — the misuse was "
+                                "NOT diagnosed (inert annotation?)")
+            elif "thread-safety" not in err and "thread safety" not in err:
+                failures.append(f"{name}: failed for the wrong reason "
+                                f"(not a thread-safety diagnostic):\n{err}")
+            else:
+                print(f"OK: {name}: rejected as expected")
+        if failures:
+            print("thread_safety_negative_test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+    print(f"OK: positive control compiled, {len(NEGATIVES)} misuses "
+          f"rejected by {clangxx} -Werror=thread-safety")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Project lint gate: textual invariants the compilers cannot check.
+
+Run by ci/check.sh (and as a ctest) over the library sources. Each rule
+enforces a project-wide convention that complements a machine-checked
+discipline:
+
+  raw-sync          src/common/mutex.h is the ONLY file allowed to name the
+                    std synchronization primitives (std::mutex, lock_guard,
+                    .lock() ...). Everything else must use the annotated
+                    wrappers, because a raw std lock is invisible to clang's
+                    -Wthread-safety analysis: code using one would need
+                    escape hatches on every guarded access, silently
+                    un-proving the lock discipline.
+  no-stdout         no std::cout / printf-to-stdout in src/ library code;
+                    the library reports through Status and returns values,
+                    never by printing (tools, tests, benches may print).
+  nodiscard-status  every Status- / Result-returning function declared in a
+                    src/ header spells [[nodiscard]] (on the declaration or
+                    the line above). The classes are [[nodiscard]] too; the
+                    spelling keeps the contract visible at the API and
+                    protects against a future plain-struct error type.
+  include-guard     header guards are XQTP_<DIR>_<FILE>_H_, derived from
+                    the path under src/, so a moved header cannot silently
+                    shadow another one's guard.
+
+A finding prints as `path:line: [rule] message` and the process exits 1.
+A line may opt out with a trailing `lint:allow(<rule>)` comment — intended
+to be rare and reviewable. `--self-test` proves each rule fires on a
+known-bad fixture and stays quiet on a known-good one (exit 0 only if all
+rules behave). Stdlib only; no third-party imports.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# helpers
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(lines):
+    """Returns lines with //, /* */ comments and string literals blanked
+    (lengths preserved so column/line numbers stay meaningful)."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i, n = 0, len(line)
+        in_str = None
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif in_str:
+                if c == "\\" and i + 1 < n:
+                    buf.append("  ")
+                    i += 2
+                elif c == in_str:
+                    in_str = None
+                    buf.append(c)
+                    i += 1
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif c in "\"'":
+                in_str = c
+                buf.append(c)
+                i += 1
+            elif line.startswith("//", i):
+                buf.append(" " * (n - i))
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                buf.append("  ")
+                i += 2
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def allowed(raw_line, rule):
+    m = ALLOW_RE.search(raw_line)
+    return m is not None and m.group(1) == rule
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# rule: raw-sync
+
+RAW_SYNC_EXEMPT = os.path.join("src", "common", "mutex.h")
+
+RAW_SYNC_TOKENS = [
+    (re.compile(r"\bstd::(?:recursive_|timed_|recursive_timed_)?mutex\b"),
+     "std::mutex family"),
+    (re.compile(r"\bstd::shared_(?:timed_)?mutex\b"), "std::shared_mutex"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"),
+     "std lock holder"),
+    (re.compile(r"\bstd::(?:call_once|once_flag)\b"), "std::call_once"),
+    (re.compile(r"\.\s*(?:try_)?lock(?:_shared)?\s*\("), "manual .lock() call"),
+    (re.compile(r"\.\s*unlock(?:_shared)?\s*\("), "manual .unlock() call"),
+]
+
+
+def check_raw_sync(relpath, raw, code, findings):
+    if relpath.replace(os.sep, "/") == RAW_SYNC_EXEMPT.replace(os.sep, "/"):
+        return
+    for lineno, line in enumerate(code, 1):
+        for pat, what in RAW_SYNC_TOKENS:
+            if pat.search(line) and not allowed(raw[lineno - 1], "raw-sync"):
+                findings.append(Finding(
+                    relpath, lineno, "raw-sync",
+                    f"{what} outside src/common/mutex.h — use the annotated "
+                    "wrappers (Mutex/SharedMutex/MutexLock/ReaderLock/"
+                    "WriterLock/CondVar) so clang -Wthread-safety can see "
+                    "the acquisition"))
+                break
+
+
+# --------------------------------------------------------------------------
+# rule: no-stdout
+
+NO_STDOUT_PATTERNS = [
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"(?<![\w.:>])(?:std::)?printf\s*\("), "printf"),
+    (re.compile(r"\bfprintf\s*\(\s*stdout\b"), "fprintf(stdout, ...)"),
+    (re.compile(r"(?<![\w.:>])(?:std::)?puts\s*\("), "puts"),
+]
+
+
+def check_no_stdout(relpath, raw, code, findings):
+    for lineno, line in enumerate(code, 1):
+        for pat, what in NO_STDOUT_PATTERNS:
+            if pat.search(line) and not allowed(raw[lineno - 1], "no-stdout"):
+                findings.append(Finding(
+                    relpath, lineno, "no-stdout",
+                    f"{what} in library code — the library communicates via "
+                    "Status/Result and return values, never stdout "
+                    "(printing belongs in tools/, tests/, bench/)"))
+                break
+
+
+# --------------------------------------------------------------------------
+# rule: nodiscard-status
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?"
+    r"(?:Status|Result<.*?>)\s+[A-Za-z_]\w*\s*\(")
+
+
+def check_nodiscard_status(relpath, raw, code, findings):
+    if not relpath.endswith(".h"):
+        return
+    for lineno, line in enumerate(code, 1):
+        if not STATUS_DECL_RE.match(line):
+            continue
+        if "[[nodiscard]]" in line:
+            continue
+        prev = code[lineno - 2].strip() if lineno >= 2 else ""
+        if prev.endswith("[[nodiscard]]"):
+            continue
+        if allowed(raw[lineno - 1], "nodiscard-status"):
+            continue
+        findings.append(Finding(
+            relpath, lineno, "nodiscard-status",
+            "Status/Result-returning API without [[nodiscard]] — a caller "
+            "silently dropping this error must not compile"))
+
+
+# --------------------------------------------------------------------------
+# rule: include-guard
+
+IFNDEF_RE = re.compile(r"^\s*#ifndef\s+(\w+)")
+DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)")
+
+
+def expected_guard(relpath):
+    rel = relpath.replace(os.sep, "/")
+    assert rel.startswith("src/")
+    stem = rel[len("src/"):]
+    return "XQTP_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def check_include_guard(relpath, raw, code, findings):
+    if not relpath.endswith(".h"):
+        return
+    want = expected_guard(relpath)
+    ifndef = define = None
+    ifndef_line = 1
+    for lineno, line in enumerate(code, 1):
+        m = IFNDEF_RE.match(line)
+        if m and ifndef is None:
+            ifndef, ifndef_line = m.group(1), lineno
+            nxt = DEFINE_RE.match(code[lineno]) if lineno < len(code) else None
+            define = nxt.group(1) if nxt else None
+            break
+    if ifndef is None:
+        findings.append(Finding(relpath, 1, "include-guard",
+                                f"missing include guard (expected {want})"))
+        return
+    if ifndef != want or define != want:
+        if not allowed(raw[ifndef_line - 1], "include-guard"):
+            findings.append(Finding(
+                relpath, ifndef_line, "include-guard",
+                f"guard is {ifndef!r}/{define!r}, expected {want!r} "
+                "(XQTP_ + path under src/, uppercased)"))
+
+
+RULES = [check_raw_sync, check_no_stdout, check_nodiscard_status,
+         check_include_guard]
+
+
+# --------------------------------------------------------------------------
+# driver
+
+def lint_tree(root):
+    findings = []
+    src = os.path.join(root, "src")
+    for dirpath, _, files in os.walk(src):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            relpath = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as f:
+                raw = f.read().splitlines()
+            code = strip_comments_and_strings(raw)
+            for rule in RULES:
+                rule(relpath, raw, code, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# self-test: each rule must fire on a seeded violation and stay quiet on a
+# clean snippet. Fixtures are written into a temp tree shaped like src/.
+
+SELF_TEST_FIXTURES = [
+    # (relative path, contents, set of rules expected to fire)
+    ("src/common/mutex.h",
+     "#ifndef XQTP_COMMON_MUTEX_H_\n#define XQTP_COMMON_MUTEX_H_\n"
+     "#include <mutex>\nstd::mutex exempt_here;\nvoid F() { m.lock(); }\n"
+     "#endif  // XQTP_COMMON_MUTEX_H_\n",
+     set()),  # the one exempt file: raw sync allowed
+    ("src/bad/raw_sync.cc",
+     "#include <mutex>\nstd::mutex mu;\n"
+     "void F() { std::lock_guard<std::mutex> l(mu); }\n",
+     {"raw-sync"}),
+    ("src/bad/manual_lock.cc",
+     "void F() { mu.lock(); mu.unlock(); }\n",
+     {"raw-sync"}),
+    ("src/bad/stdout.cc",
+     "#include <iostream>\nvoid F() { std::cout << 1; }\n"
+     "void G() { printf(\"x\"); }\n",
+     {"no-stdout"}),
+    ("src/bad/discard.h",
+     "#ifndef XQTP_BAD_DISCARD_H_\n#define XQTP_BAD_DISCARD_H_\n"
+     "Status Frob(int x);\n"
+     "Result<int> Twiddle();\n"
+     "#endif  // XQTP_BAD_DISCARD_H_\n",
+     {"nodiscard-status"}),
+    ("src/bad/guard.h",
+     "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+     {"include-guard"}),
+    ("src/good/clean.h",
+     "#ifndef XQTP_GOOD_CLEAN_H_\n#define XQTP_GOOD_CLEAN_H_\n"
+     "// std::mutex in a comment is fine; \"std::cout\" in a string too.\n"
+     "const char* kMsg = \"std::cout\";\n"
+     "[[nodiscard]] Status Frob(int x);\n"
+     "[[nodiscard]]\n"
+     "Result<int> Twiddle(int very_long_parameter_name,\n"
+     "                    int another_parameter);\n"
+     "int snprintf_ok(char* b, int n);  // name contains printf, no call\n"
+     "#endif  // XQTP_GOOD_CLEAN_H_\n",
+     set()),
+    ("src/good/allow.cc",
+     "void F() { weak.lock(); }  // lint:allow(raw-sync)\n",
+     set()),
+]
+
+
+def self_test():
+    with tempfile.TemporaryDirectory(prefix="xqtp-lint-") as tmp:
+        for relpath, contents, _ in SELF_TEST_FIXTURES:
+            path = os.path.join(tmp, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        findings = lint_tree(tmp)
+        by_file = {}
+        for f in findings:
+            by_file.setdefault(f.path.replace(os.sep, "/"), set()).add(f.rule)
+        failures = []
+        for relpath, _, expect in SELF_TEST_FIXTURES:
+            got = by_file.get(relpath, set())
+            missing = expect - got
+            extra = got - expect
+            if missing:
+                failures.append(f"{relpath}: rule(s) {sorted(missing)} did "
+                                "NOT fire on a seeded violation")
+            if extra:
+                failures.append(f"{relpath}: unexpected rule(s) "
+                                f"{sorted(extra)} fired on clean code")
+        if failures:
+            print("lint.py --self-test FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            for f in findings:
+                print(f"  (finding: {f})")
+            return 1
+        rules_proven = sorted({r for _, _, exp in SELF_TEST_FIXTURES
+                               for r in exp})
+        print(f"lint.py --self-test OK: rules {rules_proven} each fired on "
+              "a seeded violation and stayed quiet on clean fixtures")
+        return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify each rule fires on known-bad fixtures")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
