@@ -26,15 +26,22 @@ namespace xqtp::bench {
 // --json=<path> (stripped before google-benchmark sees the argv) and, when
 // given, appends one record per executed query benchmark:
 //   {"bench": ..., "query": ..., "algo": ..., "threads": N,
-//    "ns": mean-per-iteration, "nodes_visited": exact-counter}
+//    "variant": ..., "ns": mean-per-iteration,
+//    "nodes_visited": exact-counter}
 // ci/check.sh runs a bounded smoke bench with this flag to drop
 // BENCH_smoke.json at the repo root.
+//
+// "variant" distinguishes records that share (bench, query, algo, threads)
+// but differ in compile configuration — e.g. bench_plan_props measures the
+// same query with property inference on and off. Benches that don't vary
+// the compile leave it empty.
 
 struct JsonRecord {
   std::string bench;
   std::string query;
   std::string algo;
   int threads = 1;
+  std::string variant;
   double ns = 0;
   int64_t nodes_visited = 0;
 };
@@ -95,7 +102,8 @@ inline void WriteJsonRecords() {
     const JsonRecord& r = records[i];
     out << "  {\"bench\": \"" << JsonEscape(r.bench) << "\", \"query\": \""
         << JsonEscape(r.query) << "\", \"algo\": \"" << JsonEscape(r.algo)
-        << "\", \"threads\": " << r.threads << ", \"ns\": " << r.ns
+        << "\", \"threads\": " << r.threads << ", \"variant\": \""
+        << JsonEscape(r.variant) << "\", \"ns\": " << r.ns
         << ", \"nodes_visited\": " << r.nodes_visited << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
@@ -159,7 +167,8 @@ inline void RunQueryBenchmark(benchmark::State& state, const std::string& q,
                               const exec::EvalOptions& opts,
                               engine::PlanChoice plan_choice =
                                   engine::PlanChoice::kOptimized,
-                              const engine::CompileOptions& copts = {}) {
+                              const engine::CompileOptions& copts = {},
+                              const std::string& variant = {}) {
   engine::Engine& e = SharedEngine();
   auto cq = e.Compile(q, copts);
   if (!cq.ok()) {
@@ -196,13 +205,15 @@ inline void RunQueryBenchmark(benchmark::State& state, const std::string& q,
     r.query = q;
     r.algo = exec::PatternAlgoName(opts.algo);
     r.threads = exec::ThreadPool::ResolveThreads(opts.threads);
+    r.variant = variant;
     r.ns = total_ns / static_cast<double>(iters);
     r.nodes_visited = scope.stats().nodes_visited;
     // google-benchmark calls the function more than once (iteration
     // estimation); keep only the final, longest-running record.
     for (JsonRecord& existing : JsonRecords()) {
       if (existing.bench == r.bench && existing.query == r.query &&
-          existing.algo == r.algo && existing.threads == r.threads) {
+          existing.algo == r.algo && existing.threads == r.threads &&
+          existing.variant == r.variant) {
         existing = std::move(r);
         return;
       }

@@ -1,0 +1,114 @@
+// Plan-property-inference payoff: the same XMark queries compiled with
+// the TPNF' Core rewrites disabled (rewrite=false), with and without the
+// property pass (CompileOptions::infer_properties). Without the rewrites,
+// rule (f) never fires and compiled plans keep Ddo operators; the property
+// pass proves them redundant from the inferred order/distinctness facts
+// and removes them. Before registering any timing, main() verifies the
+// claim the bench exists to demonstrate: at least one query loses a Ddo,
+// and for every query both plans agree bit-for-bit at threads 1 and 2
+// (the compile-time translation-validation oracle has already checked
+// each firing in debug builds). Run with --json=<path> for the perf
+// trajectory records; the two compiles are distinguished by the record's
+// "variant" field (infer-off / infer-on).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace xqtp::bench {
+namespace {
+
+// Queries whose unrewritten plans keep structural-rule-proof Ddo ops.
+constexpr const char* kQueries[] = {
+    "$input//location",
+    "$input//item/location",
+    "$input//person[name]",
+};
+
+constexpr struct {
+  const char* tag;
+  bool infer;
+} kVariants[] = {{"infer-off", false}, {"infer-on", true}};
+
+const xml::Document& Doc() { return XmarkDoc("xmark_props", 0.25); }
+
+engine::CompileOptions Opts(bool infer) {
+  engine::CompileOptions copts;
+  copts.rewrite = false;
+  copts.infer_properties = infer;
+  return copts;
+}
+
+// Proves the elimination + equivalence story before anything is timed.
+// Returns false (after printing why to stderr) if no query loses a Ddo
+// or any query's two plans disagree.
+bool VerifyElimination() {
+  engine::Engine& e = SharedEngine();
+  const xml::Document& doc = Doc();
+  int eliminated_queries = 0;
+  for (const char* query : kQueries) {
+    auto plain = e.Compile(query, Opts(false));
+    auto opt = e.Compile(query, Opts(true));
+    if (!plain.ok() || !opt.ok()) {
+      std::fprintf(stderr, "bench_plan_props: compile failed for %s\n", query);
+      return false;
+    }
+    int before = plain->Stats().ddo_ops;
+    int after = opt->Stats().ddo_ops;
+    if (after < before) ++eliminated_queries;
+    std::fprintf(stderr, "bench_plan_props: %-24s ddo %d -> %d\n", query,
+                 before, after);
+    engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc.root())}}};
+    for (int threads : {1, 2}) {
+      exec::EvalOptions eopts;
+      eopts.threads = threads;
+      eopts.parallel_min_fanout = 1;
+      auto want = e.Execute(*plain, globals, eopts);
+      auto got = e.Execute(*opt, globals, eopts);
+      if (!want.ok() || !got.ok() || *want != *got) {
+        std::fprintf(stderr,
+                     "bench_plan_props: DIVERGENCE for %s at threads=%d\n",
+                     query, threads);
+        return false;
+      }
+    }
+  }
+  if (eliminated_queries == 0) {
+    std::fprintf(stderr,
+                 "bench_plan_props: property pass eliminated no Ddo ops\n");
+    return false;
+  }
+  return true;
+}
+
+void Register() {
+  for (const char* query : kQueries) {
+    for (const auto& variant : kVariants) {
+      std::string name = std::string("PlanProps/") + query + "/" + variant.tag;
+      std::string q = query;
+      bool infer = variant.infer;
+      std::string tag = variant.tag;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [q, infer, tag](benchmark::State& state) {
+            exec::EvalOptions eopts;
+            eopts.algo = exec::PatternAlgo::kNLJoin;
+            // Time the plan difference, not the debug-build claim
+            // assertions (VerifyElimination above already ran with them).
+            eopts.check_inferred_props = false;
+            RunQueryBenchmark(state, q, Doc(), eopts,
+                              engine::PlanChoice::kOptimized, Opts(infer),
+                              tag);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  if (!xqtp::bench::VerifyElimination()) return 1;
+  xqtp::bench::Register();
+  return xqtp::bench::BenchMain(argc, argv);
+}

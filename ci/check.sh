@@ -29,8 +29,17 @@
 #  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
 #    line is part of the gate's output — the deep seed-matrix sweep under
 #    sanitizers lives in ci/fuzz.sh;
-#  - a bounded smoke run of bench_parallel that drops the perf-trajectory
-#    records (--json) into BENCH_smoke.json at the repo root.
+#  - a bounded smoke run of bench_parallel and bench_plan_props whose
+#    perf-trajectory records (--json) are merged by tools/bench_smoke.py
+#    into BENCH_smoke.json at the repo root, with a WARN-ONLY per-record
+#    timing delta against the committed baseline printed to the log.
+#
+# The debug-sanitize test phase is split by ctest label: `-L analysis`
+# (verifiers, property inference, translation validation) runs first and
+# fails fast — when an optimizer change breaks a proof, the analysis
+# tests name the broken invariant directly while the exec tests only show
+# a wrong query result. A per-leg wall-clock summary is printed at the
+# end of the gate.
 #
 # Every leg owns its build directory (build-ci-release, build-ci-tsa,
 # build-ci-sanitize, build-ci-tsan; ci/fuzz.sh uses build-ci-fuzz) so one
@@ -43,13 +52,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+# Per-leg wall-clock bookkeeping: leg_done <name> records the time since
+# the previous leg boundary; the summary prints before the final verdict.
+LEG_SUMMARY=()
+LEG_T0=$SECONDS
+leg_done() {
+  LEG_SUMMARY+=("$(printf '%-16s %5ds' "$1" "$((SECONDS - LEG_T0))")")
+  LEG_T0=$SECONDS
+}
+
 echo "==== [lint] tools/lint.py self-test + gate ===="
 python3 tools/lint.py --self-test
 python3 tools/lint.py
+leg_done lint
 
 run_config() {
-  local name="$1" dir="$2"
-  shift 2
+  local name="$1" dir="$2" test_mode="$3"
+  shift 3
   echo "==== [$name] configure ===="
   cmake -B "$dir" -S . "$@" > /dev/null
   echo "==== [$name] build ===="
@@ -67,11 +86,21 @@ run_config() {
     exit 1
   fi
   rm -f "$log"
-  echo "==== [$name] test ===="
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  if [[ "$test_mode" == "labeled" ]]; then
+    # Analysis tests first, fail-fast: a broken optimizer proof shows up
+    # here by invariant name, not as a wrong result downstream.
+    echo "==== [$name] test (-L analysis, fail fast) ===="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L analysis
+    echo "==== [$name] test (-LE analysis, remainder) ===="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE analysis
+  else
+    echo "==== [$name] test ===="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
+  leg_done "$name"
 }
 
-run_config release build-ci-release \
+run_config release build-ci-release full \
   -DCMAKE_BUILD_TYPE=Release -DXQTP_WERROR=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
@@ -84,6 +113,7 @@ if command -v clang-tidy > /dev/null 2>&1; then
 else
   echo "==== [clang-tidy] SKIPPED: clang-tidy not installed ===="
 fi
+leg_done clang-tidy
 
 echo "==== [thread-safety] clang -Werror=thread-safety ===="
 CLANGXX=""
@@ -112,18 +142,36 @@ else
   echo "====   gcc cannot check the capability annotations; install"
   echo "====   clang to prove lock discipline (-Werror=thread-safety)."
 fi
+leg_done thread-safety
 
 echo "==== [equiv-fuzz] bounded differential sweep (Release) ===="
 build-ci-release/tools/equiv_fuzz --iters 500 --seed 1 \
   --artifacts fuzz-artifacts --quiet
+leg_done equiv-fuzz
 
 echo "==== [bench-smoke] perf trajectory -> BENCH_smoke.json ===="
+# Two binaries, one merged trajectory file: tools/bench_smoke.py sorts
+# records by (bench, query, algo, threads, variant) for stable diffs and
+# prints the warn-only timing delta against the committed baseline.
+SMOKE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_TMP"' EXIT
 build-ci-release/bench/bench_parallel \
-  --benchmark_min_time=0.05 --json=BENCH_smoke.json
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/parallel.json"
+build-ci-release/bench/bench_plan_props \
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/plan_props.json"
+if git show HEAD:BENCH_smoke.json > "$SMOKE_TMP/baseline.json" 2>/dev/null
+then
+  BASELINE=(--baseline "$SMOKE_TMP/baseline.json")
+else
+  BASELINE=()
+fi
+python3 tools/bench_smoke.py --out BENCH_smoke.json "${BASELINE[@]}" \
+  "$SMOKE_TMP/parallel.json" "$SMOKE_TMP/plan_props.json"
 python3 -c "import json; json.load(open('BENCH_smoke.json'))" \
   && echo "BENCH_smoke.json: valid JSON"
+leg_done bench-smoke
 
-run_config debug-sanitize build-ci-sanitize \
+run_config debug-sanitize build-ci-sanitize labeled \
   -DCMAKE_BUILD_TYPE=Debug -DXQTP_WERROR=ON \
   "-DXQTP_SANITIZE=address;undefined"
 
@@ -138,5 +186,11 @@ cmake --build build-ci-tsan -j "$JOBS" \
 echo "==== [tsan] test ===="
 ctest --test-dir build-ci-tsan --output-on-failure \
   -R '^(parallel_eval_test|concurrency_test)$'
+leg_done tsan
+
+echo "==== leg wall-clock summary ===="
+for line in "${LEG_SUMMARY[@]}"; do
+  echo "  $line"
+done
 
 echo "==== all checks passed ===="

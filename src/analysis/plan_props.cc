@@ -1,0 +1,636 @@
+#include "analysis/plan_props.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/odf.h"
+
+namespace xqtp::analysis {
+
+namespace {
+
+using algebra::Op;
+using algebra::OpKind;
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a == kCardTop || b == kCardTop) return kCardTop;
+  if (a > kCardTop - b) return kCardTop;
+  return a + b;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kCardTop || b == kCardTop) return kCardTop;
+  if (a > kCardTop / b) return kCardTop;
+  return a * b;
+}
+
+}  // namespace
+
+CardRange CardRange::Plus(const CardRange& o) const {
+  return {SatAdd(lo, o.lo), SatAdd(hi, o.hi)};
+}
+
+CardRange CardRange::Times(const CardRange& o) const {
+  return {SatMul(lo, o.lo), SatMul(hi, o.hi)};
+}
+
+CardRange CardRange::Union(const CardRange& o) const {
+  return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+const FieldProps* TupleProps::Field(Symbol s) const {
+  auto it = fields.find(s);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+bool TupleProps::IsKeyField(Symbol s) const {
+  const FieldProps* f = Field(s);
+  return f != nullptr && f->value.card.hi <= 1 && f->value.card.lo >= 1 &&
+         f->seq_dup_free;
+}
+
+const OpProps* PlanProps::Lookup(const Op* op) const {
+  auto it = by_op.find(op);
+  return it == by_op.end() ? nullptr : &it->second;
+}
+
+const ItemProps* PlanProps::Item(const Op* op) const {
+  const OpProps* p = Lookup(op);
+  return (p != nullptr && !p->is_tuple) ? &p->item : nullptr;
+}
+
+const TupleProps* PlanProps::Tuple(const Op* op) const {
+  const OpProps* p = Lookup(op);
+  return (p != nullptr && p->is_tuple) ? &p->tuple : nullptr;
+}
+
+bool ProvenDdoRedundant(const ItemProps& p) {
+  return p.ordered && p.dup_free && (p.nodes_only || p.card.hi <= 1);
+}
+
+namespace {
+
+/// True when every main-path step uses child / attribute / self — all
+/// bindings of the final step then sit at a fixed depth below their
+/// context node, so distinct bindings are never ancestor-related.
+bool MainPathChildLike(const pattern::TreePattern& tp) {
+  for (const pattern::PatternNode* n = tp.root.get(); n != nullptr;
+       n = n->next.get()) {
+    if (n->axis != Axis::kChild && n->axis != Axis::kAttribute &&
+        n->axis != Axis::kSelf) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Main-path annotated outputs, root to leaf, with the axis run strictly
+/// after the previous annotated step: `gap_child_like` is true when every
+/// step after the previous annotated one (exclusive) through this one
+/// (inclusive) is child / attribute / self — the binding then sits at a
+/// fixed distance below the previous one, i.e. is a *function* of it.
+struct AnnotatedStep {
+  Symbol output;
+  bool gap_child_like;
+};
+
+std::vector<AnnotatedStep> AnnotatedMainPath(const pattern::TreePattern& tp) {
+  std::vector<AnnotatedStep> out;
+  bool gap_ok = true;
+  for (const pattern::PatternNode* n = tp.root.get(); n != nullptr;
+       n = n->next.get()) {
+    bool step_child_like = n->axis == Axis::kChild ||
+                           n->axis == Axis::kAttribute ||
+                           n->axis == Axis::kSelf;
+    gap_ok = gap_ok && step_child_like;
+    if (n->output != kInvalidSymbol) {
+      out.push_back({n->output, gap_ok});
+      gap_ok = true;
+    }
+  }
+  return out;
+}
+
+/// Per-evaluation view of a tuple stream: inside a dependent plan the
+/// evaluator binds one tuple at a time, so stream-level concatenation
+/// facts collapse to the single tuple's value facts.
+TupleProps PerTupleView(const TupleProps& t) {
+  TupleProps one = t;
+  one.card = CardRange::Exactly(1);
+  for (auto& [sym, f] : one.fields) {
+    f.seq_ordered = f.value.ordered;
+    f.seq_dup_free = f.value.dup_free;
+    f.seq_unrelated = f.value.unrelated;
+  }
+  return one;
+}
+
+/// Facts about a single element drawn from a sequence with facts `s`.
+ItemProps ElementOf(const ItemProps& s) {
+  ItemProps e = ItemProps::SingletonAtomic();
+  e.nodes_only = s.nodes_only;
+  return e;
+}
+
+ItemProps Hull(const ItemProps& a, const ItemProps& b) {
+  ItemProps h;
+  h.ordered = a.ordered && b.ordered;
+  h.dup_free = a.dup_free && b.dup_free;
+  h.unrelated = a.unrelated && b.unrelated;
+  h.nodes_only = a.nodes_only && b.nodes_only;
+  h.card = a.card.Union(b.card);
+  return h;
+}
+
+/// Sequences of at most one item are trivially ordered, duplicate-free
+/// and unrelated.
+void NormalizeItem(ItemProps* p) {
+  if (p->card.hi <= 1) {
+    p->ordered = p->dup_free = p->unrelated = true;
+  }
+}
+
+void NormalizeTuple(TupleProps* t) {
+  if (t->card.hi <= 1) {
+    for (auto& [sym, f] : t->fields) {
+      f.seq_ordered = f.seq_ordered || f.value.ordered;
+      f.seq_dup_free = f.seq_dup_free || f.value.dup_free;
+      f.seq_unrelated = f.seq_unrelated || f.value.unrelated;
+    }
+  }
+}
+
+/// Evaluation context mirroring the evaluator's (tuple, item) arguments.
+struct Ctx {
+  const TupleProps* ambient = nullptr;   ///< current tuple (IN#f / IN)
+  const ItemProps* cur_item = nullptr;   ///< current item (MapFromItem dep)
+};
+
+class Inferrer {
+ public:
+  explicit Inferrer(PlanProps* out) : out_(out) {}
+
+  ItemProps InferItem(const Op& op, const Ctx& ctx) {
+    ItemProps p = InferItemInner(op, ctx);
+    // Core ODF facts survive compilation: algebra::Compile stamps the
+    // source expression's derived bits on the operator compiled for it.
+    if (core::OdfCacheOrdered(op.odf_seed)) p.ordered = true;
+    if (core::OdfCacheDupFree(op.odf_seed)) p.dup_free = true;
+    NormalizeItem(&p);
+    OpProps rec;
+    rec.is_tuple = false;
+    rec.item = p;
+    out_->by_op[&op] = rec;
+    return p;
+  }
+
+  TupleProps InferTuple(const Op& op, const Ctx& ctx) {
+    TupleProps t = InferTupleInner(op, ctx);
+    NormalizeTuple(&t);
+    OpProps rec;
+    rec.is_tuple = true;
+    rec.tuple = t;
+    out_->by_op[&op] = rec;
+    return t;
+  }
+
+ private:
+  /// RAII save/restore of one scoped-variable slot.
+  class ScopedBind {
+   public:
+    ScopedBind(Inferrer* inf, core::VarId var, ItemProps props)
+        : inf_(inf), var_(var) {
+      if (var_ == core::kNoVar) return;
+      auto it = inf_->scoped_.find(var_);
+      if (it != inf_->scoped_.end()) saved_ = it->second;
+      inf_->scoped_[var_] = props;
+    }
+    ~ScopedBind() {
+      if (var_ == core::kNoVar) return;
+      if (saved_.has_value()) {
+        inf_->scoped_[var_] = *saved_;
+      } else {
+        inf_->scoped_.erase(var_);
+      }
+    }
+
+   private:
+    Inferrer* inf_;
+    core::VarId var_;
+    std::optional<ItemProps> saved_;
+  };
+
+  ItemProps InferItemInner(const Op& op, const Ctx& ctx) {
+    switch (op.kind) {
+      case OpKind::kConst: {
+        ItemProps p = ItemProps::SingletonAtomic();
+        p.nodes_only = op.literal.IsNode();
+        return p;
+      }
+      case OpKind::kGlobalVar: {
+        // Engine binding contract (core/odf.cc makes the same assumption):
+        // globals are bound to document nodes, at most one of them. The
+        // lower bound stays 0 — the public Execute accepts (and tests
+        // exercise) empty bindings, and every order fact is trivially true
+        // at cardinality <= 1.
+        ItemProps p = ItemProps::SingletonNode();
+        p.card = CardRange::AtMost(1);
+        return p;
+      }
+      case OpKind::kScopedVar: {
+        auto it = scoped_.find(op.var);
+        return it == scoped_.end() ? ItemProps::Unknown() : it->second;
+      }
+      case OpKind::kInputItem: {
+        if (ctx.cur_item != nullptr) return *ctx.cur_item;
+        ItemProps p = ItemProps::SingletonAtomic();
+        p.nodes_only = false;  // unknown element sort
+        return p;
+      }
+      case OpKind::kFieldAccess: {
+        if (ctx.ambient != nullptr) {
+          if (const FieldProps* f = ctx.ambient->Field(op.field)) {
+            return f->value;
+          }
+          if (ctx.ambient->fields_complete) {
+            ItemProps p;
+            p.nodes_only = true;  // vacuously: the sequence is empty
+            p.card = CardRange::Exactly(0);
+            return p;
+          }
+        }
+        return ItemProps::Unknown();
+      }
+      case OpKind::kTreeJoin:
+        return InferTreeJoin(op, ctx);
+      case OpKind::kDdo: {
+        ItemProps in = InferItem(*op.inputs[0], ctx);
+        // Success outcomes: all-node input -> sorted and deduplicated;
+        // all-atomic input -> returned unchanged. (Mixed input is a type
+        // error, which produces no value to describe.)
+        ItemProps p;
+        p.nodes_only = in.nodes_only;
+        p.ordered = in.nodes_only || in.ordered;
+        p.dup_free = in.nodes_only || in.dup_free;
+        p.unrelated = in.unrelated;  // a subset of the input's nodes
+        p.card = {in.card.lo > 0 ? 1 : 0, in.card.hi};
+        return p;
+      }
+      case OpKind::kMapToItem:
+        return InferMapToItem(op, ctx);
+      case OpKind::kFnCall:
+        return InferFnCall(op, ctx);
+      case OpKind::kCompare:
+      case OpKind::kAnd:
+      case OpKind::kOr: {
+        for (const algebra::OpPtr& in : op.inputs) InferItem(*in, ctx);
+        return ItemProps::SingletonAtomic();
+      }
+      case OpKind::kArith: {
+        for (const algebra::OpPtr& in : op.inputs) InferItem(*in, ctx);
+        ItemProps p = ItemProps::SingletonAtomic();
+        p.card = CardRange::AtMost(1);  // empty operands propagate
+        return p;
+      }
+      case OpKind::kSequence: {
+        ItemProps p;
+        p.nodes_only = true;
+        p.card = CardRange::Exactly(0);
+        for (const algebra::OpPtr& in : op.inputs) {
+          ItemProps part = InferItem(*in, ctx);
+          p.nodes_only = p.nodes_only && part.nodes_only;
+          p.card = p.card.Plus(part.card);
+        }
+        // Concatenation order is syntactic; no order facts survive
+        // (NormalizeItem restores them for statically-short sequences).
+        p.ordered = p.dup_free = p.unrelated = false;
+        return p;
+      }
+      case OpKind::kIf: {
+        InferItem(*op.inputs[0], ctx);
+        ItemProps t = InferItem(*op.inputs[1], ctx);
+        ItemProps e = InferItem(*op.inputs[2], ctx);
+        return Hull(t, e);
+      }
+      case OpKind::kForEach: {
+        ItemProps s = InferItem(*op.inputs[0], ctx);
+        ScopedBind bind_var(this, op.var, ElementOf(s));
+        ScopedBind bind_pos(this, op.pos_var, ItemProps::SingletonAtomic());
+        if (op.dep2) InferItem(*op.dep2, ctx);
+        ItemProps d = InferItem(*op.dep, ctx);
+        ItemProps p;
+        p.nodes_only = d.nodes_only;
+        p.card = s.card.Times(d.card);
+        if (op.dep2) p.card.lo = 0;
+        if (s.card.hi <= 1) {
+          // At most one iteration: the loop returns one body result (or
+          // nothing) — the body's facts carry over.
+          p.ordered = d.ordered;
+          p.dup_free = d.dup_free;
+          p.unrelated = d.unrelated;
+        }
+        return p;
+      }
+      case OpKind::kLetIn: {
+        ItemProps b = InferItem(*op.inputs[0], ctx);
+        ScopedBind bind_var(this, op.var, b);
+        return InferItem(*op.dep, ctx);
+      }
+      case OpKind::kTypeswitch: {
+        ItemProps in = InferItem(*op.inputs[0], ctx);
+        ItemProps d1;
+        {
+          // Numeric branch: the input was a singleton numeric item.
+          ScopedBind bind_case(this, op.var, ItemProps::SingletonAtomic());
+          d1 = InferItem(*op.dep, ctx);
+        }
+        ItemProps d2;
+        {
+          ScopedBind bind_default(this, op.pos_var, in);
+          d2 = InferItem(*op.dep2, ctx);
+        }
+        return Hull(d1, d2);
+      }
+      case OpKind::kMapFromItem:
+      case OpKind::kSelect:
+      case OpKind::kTupleTreePattern:
+      case OpKind::kInputTuple:
+        // Sort error — the plan verifier rejects these; stay at top.
+        return ItemProps::Unknown();
+    }
+    return ItemProps::Unknown();
+  }
+
+  ItemProps InferTreeJoin(const Op& op, const Ctx& ctx) {
+    ItemProps in = InferItem(*op.inputs[0], ctx);
+    // A step over an ordered, duplicate-free, *unrelated* context visits
+    // disjoint subtrees in increasing document order (Hidders et al.):
+    // downward axes then emit globally ordered, duplicate-free results.
+    bool chain = in.ordered && in.dup_free && in.unrelated;
+    ItemProps p;
+    p.nodes_only = true;
+    p.card = CardRange::Top();
+    switch (op.axis) {
+      case Axis::kSelf:
+        p.ordered = in.ordered;
+        p.dup_free = in.dup_free;
+        p.unrelated = in.unrelated;
+        p.card = {0, in.card.hi};
+        break;
+      case Axis::kChild:
+      case Axis::kAttribute:
+        // Fixed-depth results: unrelatedness is preserved too.
+        p.ordered = p.dup_free = p.unrelated = chain;
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        p.ordered = p.dup_free = chain;
+        p.unrelated = false;  // a subtree's nodes are ancestor-related
+        break;
+      case Axis::kParent:
+        p.card = {0, in.card.hi};
+        break;
+      default:
+        // ancestor / sibling axes: no order facts derived.
+        break;
+    }
+    if (in.card.Empty()) p.card = CardRange::Exactly(0);
+    return p;
+  }
+
+  ItemProps InferMapToItem(const Op& op, const Ctx& ctx) {
+    TupleProps tin = InferTuple(*op.inputs[0], ctx);
+    TupleProps per = PerTupleView(tin);
+    Ctx dctx;
+    dctx.ambient = &per;
+    ItemProps d = InferItem(*op.dep, dctx);
+    ItemProps p;
+    p.nodes_only = d.nodes_only;
+    p.card = tin.card.Times(d.card);
+    if (tin.fields_complete && op.dep->kind == OpKind::kFieldAccess &&
+        tin.Field(op.dep->field) == nullptr) {
+      p.card = CardRange::Exactly(0);  // absent field: empty per tuple
+    }
+    if (tin.card.hi <= 1) {
+      // At most one tuple: the concatenation is one dependent result.
+      p.ordered = d.ordered;
+      p.dup_free = d.dup_free;
+      p.unrelated = d.unrelated;
+    } else if (op.dep->kind == OpKind::kFieldAccess) {
+      // The concatenation of IN#f across the stream is exactly what the
+      // field's seq_* facts describe.
+      if (const FieldProps* f = tin.Field(op.dep->field)) {
+        p.ordered = f->seq_ordered;
+        p.dup_free = f->seq_dup_free;
+        p.unrelated = f->seq_unrelated;
+      }
+    }
+    return p;
+  }
+
+  ItemProps InferFnCall(const Op& op, const Ctx& ctx) {
+    std::vector<ItemProps> args;
+    args.reserve(op.inputs.size());
+    for (const algebra::OpPtr& in : op.inputs) {
+      args.push_back(InferItem(*in, ctx));
+    }
+    switch (op.fn) {
+      case core::CoreFn::kBoolean:
+      case core::CoreFn::kCount:
+      case core::CoreFn::kNot:
+      case core::CoreFn::kEmpty:
+      case core::CoreFn::kExists:
+      case core::CoreFn::kString:
+      case core::CoreFn::kNumber:
+      case core::CoreFn::kStringLength:
+      case core::CoreFn::kConcat:
+      case core::CoreFn::kContains:
+      case core::CoreFn::kStartsWith:
+      case core::CoreFn::kSum:
+        return ItemProps::SingletonAtomic();
+      case core::CoreFn::kRoot: {
+        ItemProps p = ItemProps::SingletonNode();
+        p.card = CardRange::AtMost(1);
+        return p;
+      }
+      case core::CoreFn::kData: {
+        ItemProps p;
+        p.card = args.empty() ? CardRange::Top() : args[0].card;
+        return p;
+      }
+    }
+    return ItemProps::Unknown();
+  }
+
+  TupleProps InferTupleInner(const Op& op, const Ctx& ctx) {
+    switch (op.kind) {
+      case OpKind::kInputTuple: {
+        if (ctx.ambient != nullptr) return PerTupleView(*ctx.ambient);
+        // Standalone: one opaque ambient tuple.
+        TupleProps t;
+        t.card = CardRange::Exactly(1);
+        t.fields_complete = false;
+        return t;
+      }
+      case OpKind::kMapFromItem: {
+        ItemProps items = InferItem(*op.inputs[0], ctx);
+        ItemProps elem = ElementOf(items);
+        Ctx dctx = ctx;  // the dependent keeps the *outer* ambient tuple
+        dctx.cur_item = &elem;
+        ItemProps value = InferItem(*op.dep, dctx);
+        TupleProps t;
+        t.card = items.card;
+        t.fields_complete = true;
+        FieldProps f;
+        f.value = value;
+        if (op.dep->kind == OpKind::kInputItem) {
+          // One tuple per item, the field bound to the item itself: the
+          // concatenation across tuples reassembles the input sequence.
+          f.seq_ordered = items.ordered;
+          f.seq_dup_free = items.dup_free;
+          f.seq_unrelated = items.unrelated;
+        }
+        t.fields[op.field] = f;
+        return t;
+      }
+      case OpKind::kSelect: {
+        TupleProps in = InferTuple(*op.inputs[0], ctx);
+        TupleProps per = PerTupleView(in);
+        Ctx dctx;
+        dctx.ambient = &per;
+        InferItem(*op.dep, dctx);  // record facts under the predicate
+        TupleProps t = in;
+        // A subsequence of the stream: per-field concatenations lose
+        // members but keep order / distinctness / unrelatedness; FDs and
+        // keys survive.
+        t.card.lo = 0;
+        return t;
+      }
+      case OpKind::kTupleTreePattern:
+        return InferTreePattern(op, ctx);
+      default: {
+        // Sort error (item plan in tuple position): stay at top.
+        TupleProps t;
+        return t;
+      }
+    }
+  }
+
+  TupleProps InferTreePattern(const Op& op, const Ctx& ctx) {
+    TupleProps in = InferTuple(*op.inputs[0], ctx);
+    const pattern::TreePattern& tp = op.tp;
+    std::vector<Symbol> outs = tp.OutputFields();
+
+    TupleProps t;
+    t.fields_complete = in.fields_complete;
+    t.card = in.card.Empty() ? CardRange::Exactly(0) : CardRange::Top();
+
+    // Input fields are replicated once per binding row: per-tuple values
+    // unchanged, concatenations keep order and unrelatedness but not
+    // distinctness (unless at most one row can match, unknowable here).
+    for (const auto& [sym, f] : in.fields) {
+      FieldProps pf = f;
+      pf.seq_dup_free = false;
+      t.fields[sym] = pf;
+    }
+    // FDs among replicated fields still hold row-wise; an FD involving a
+    // field the pattern re-defines dies with it.
+    for (const auto& fd : in.fds) {
+      bool overwritten = false;
+      for (Symbol o : outs) {
+        if (o == fd.first || o == fd.second) overwritten = true;
+      }
+      if (!overwritten) t.fds.push_back(fd);
+    }
+
+    const FieldProps* cf = in.Field(tp.input_field);
+    bool child_like = MainPathChildLike(tp);
+    // Cross-tuple: context values that are globally ordered, duplicate-
+    // free and unrelated span disjoint, increasing subtree intervals, and
+    // every pattern axis stays inside its context's subtree.
+    bool ctx_chain = cf != nullptr && cf->seq_ordered && cf->seq_dup_free &&
+                     cf->seq_unrelated;
+    bool ctx_unrel = cf != nullptr &&
+                     (in.card.hi <= 1 ? cf->value.unrelated
+                                      : cf->seq_unrelated);
+
+    if (outs.size() == 1 && tp.SingleOutputAtExtractionPoint()) {
+      FieldProps of;
+      of.value = ItemProps::SingletonNode();
+      // Single-output rows are sorted and deduplicated per input tuple
+      // (exec::FinalizeRows); with at most one input tuple, or provably
+      // chained contexts, the whole stream is ordered and dup-free.
+      of.seq_ordered = of.seq_dup_free = in.card.hi <= 1 || ctx_chain;
+      of.seq_unrelated = child_like && ctx_unrel;
+      t.fields[outs[0]] = of;
+    } else {
+      for (Symbol o : outs) {
+        FieldProps of;
+        of.value = ItemProps::SingletonNode();
+        t.fields[o] = of;
+      }
+    }
+
+    // FDs along the main path: an annotated step at a fixed child-like
+    // distance above the next annotated one is a function of it (the
+    // ancestor at that distance).
+    std::vector<AnnotatedStep> steps = AnnotatedMainPath(tp);
+    for (size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i].gap_child_like) {
+        t.fds.emplace_back(steps[i - 1].output, steps[i].output);
+      }
+    }
+    return t;
+  }
+
+  std::unordered_map<core::VarId, ItemProps> scoped_;
+  PlanProps* out_;
+};
+
+void StampClaims(Op* op, const PlanProps& props) {
+  for (algebra::OpPtr& in : op->inputs) StampClaims(in.get(), props);
+  if (op->dep) StampClaims(op->dep.get(), props);
+  if (op->dep2) StampClaims(op->dep2.get(), props);
+  op->props = algebra::PropsClaims{};
+  const ItemProps* p = props.Item(op);
+  if (p == nullptr) return;
+  algebra::PropsClaims c;
+  // Order claims are decidable by the evaluator's probe only over
+  // all-node (or at-most-one-item) sequences.
+  bool checkable = p->nodes_only || p->card.hi <= 1;
+  c.ordered = p->ordered && checkable;
+  c.dup_free = p->dup_free && checkable;
+  c.card_lo = p->card.lo;
+  c.card_hi = p->card.hi == kCardTop ? -1 : p->card.hi;
+  op->props = c;
+}
+
+}  // namespace
+
+PlanProps InferPlanProps(const Op& plan, const PlanPropsOptions& opts) {
+  (void)opts;
+  PlanProps props;
+  Inferrer inf(&props);
+  Ctx ctx;
+  if (algebra::IsTuplePlan(plan.kind)) {
+    inf.InferTuple(plan, ctx);
+  } else {
+    inf.InferItem(plan, ctx);
+  }
+  return props;
+}
+
+void AnnotatePlanProps(Op* plan, const PlanPropsOptions& opts) {
+  PlanProps props = InferPlanProps(*plan, opts);
+  StampClaims(plan, props);
+}
+
+void ClearPlanProps(Op* plan) {
+  plan->props = algebra::PropsClaims{};
+  for (algebra::OpPtr& in : plan->inputs) ClearPlanProps(in.get());
+  if (plan->dep) ClearPlanProps(plan->dep.get());
+  if (plan->dep2) ClearPlanProps(plan->dep2.get());
+}
+
+}  // namespace xqtp::analysis

@@ -1,0 +1,171 @@
+// Plan-level property inference, pass (3) of the analysis subsystem: a
+// bottom-up abstract interpretation over algebra::Op trees that proves,
+// per operator output,
+//  (a) document-order facts — ordered / duplicate-free / unrelated,
+//      mirroring core::OdfProps but at the tuple-algebra level, per tuple
+//      field and per item sequence;
+//  (b) cardinality intervals [lo, hi] with a saturating top;
+//  (c) key / functional-dependency facts between tuple fields (which
+//      fields are injective images of which).
+//
+// The lattice is seeded across algebra::Compile from the Core ODF
+// analysis (Op::odf_seed carries the source expression's cached
+// ordered/dup_free bits), because the algebra cannot locally re-derive
+// what the Core analysis knew about variable bindings.
+//
+// Facts for operators inside dependent plans ({...} sub-plans) are
+// *per-evaluation* facts: they describe one evaluation of the operator
+// against one ambient tuple / current item, exactly the granularity at
+// which the evaluator can check them (exec::EvalOptions::
+// check_inferred_props asserts every stamped claim on every evaluation,
+// so an inference bug becomes a failing test under the sanitizer CI
+// legs, not a silent wrong plan).
+//
+// Consumers:
+//  - algebra/optimize.cc: property-justified rewrites (drop a Ddo whose
+//    input is proven ordered+duplicate-free, prune dead pattern
+//    annotations justified by the FD facts), each guarded by the
+//    existing translation-validation checkpoints;
+//  - exec/cost_model.cc: interval arithmetic replacing ad-hoc clamping;
+//  - analysis/plan_lint.*: diagnostics for statically-detectable
+//    pathologies the rewrites could not remove.
+#ifndef XQTP_ANALYSIS_PLAN_PROPS_H_
+#define XQTP_ANALYSIS_PLAN_PROPS_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/ops.h"
+
+namespace xqtp::analysis {
+
+/// Saturating top of the cardinality lattice.
+inline constexpr int64_t kCardTop = std::numeric_limits<int64_t>::max();
+
+/// A cardinality interval [lo, hi]; [0, kCardTop] is ⊤.
+struct CardRange {
+  int64_t lo = 0;
+  int64_t hi = kCardTop;
+
+  static CardRange Exactly(int64_t n) { return {n, n}; }
+  static CardRange AtMost(int64_t n) { return {0, n}; }
+  static CardRange Top() { return {0, kCardTop}; }
+
+  bool IsTop() const { return lo == 0 && hi == kCardTop; }
+  bool Empty() const { return hi == 0; }
+  bool Contains(int64_t n) const { return lo <= n && n <= hi; }
+
+  CardRange Plus(const CardRange& o) const;   ///< saturating sum
+  CardRange Times(const CardRange& o) const;  ///< saturating product
+  CardRange Union(const CardRange& o) const;  ///< interval hull
+
+  bool operator==(const CardRange& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+/// Facts about one item sequence (an item plan's output, or the sequence
+/// bound to a tuple field). ordered / dup_free / unrelated mirror
+/// core::OdfProps; nodes_only additionally records that every item is a
+/// node — required before an order fact is runtime-checkable (and before
+/// removing a Ddo, which type-errors on mixed sequences).
+struct ItemProps {
+  bool ordered = false;    ///< in document order (non-decreasing)
+  bool dup_free = false;   ///< no node occurs twice
+  bool unrelated = false;  ///< no two distinct nodes are ancestor-related
+  bool nodes_only = false; ///< every item is a node
+  CardRange card = CardRange::Top();
+
+  bool OrderedDupFree() const { return ordered && dup_free; }
+
+  static ItemProps Unknown() { return {}; }
+  static ItemProps SingletonNode() {
+    return {true, true, true, true, CardRange::Exactly(1)};
+  }
+  static ItemProps SingletonAtomic() {
+    return {true, true, true, false, CardRange::Exactly(1)};
+  }
+};
+
+/// Facts about one tuple field. `value` describes the sequence bound in a
+/// single tuple; the seq_* bits describe the *concatenation* of the
+/// field's values across the whole tuple stream — the sequence
+/// MapToItem{IN#f} would produce.
+struct FieldProps {
+  ItemProps value;
+  bool seq_ordered = false;
+  bool seq_dup_free = false;
+  bool seq_unrelated = false;
+};
+
+/// Facts about a tuple plan's output stream.
+struct TupleProps {
+  CardRange card = CardRange::Top();  ///< number of tuples
+  std::unordered_map<Symbol, FieldProps> fields;
+  /// True when `fields` lists every field the tuples can carry (an
+  /// absent field then reads as the empty sequence).
+  bool fields_complete = false;
+  /// Functional dependencies (dependent, determinant): in every tuple
+  /// the dependent field's value is a function of the determinant's
+  /// (e.g. a pattern binding at a fixed child-distance above another).
+  std::vector<std::pair<Symbol, Symbol>> fds;
+
+  const FieldProps* Field(Symbol s) const;
+  /// A field is a key when its per-tuple value is a singleton and its
+  /// cross-tuple concatenation is duplicate-free: the field's value
+  /// identifies the tuple injectively.
+  bool IsKeyField(Symbol s) const;
+};
+
+/// Facts for one operator (item- or tuple-sorted).
+struct OpProps {
+  bool is_tuple = false;
+  ItemProps item;    ///< valid when !is_tuple
+  TupleProps tuple;  ///< valid when is_tuple
+};
+
+struct PlanPropsOptions {
+  /// Reserved for global typing refinements; unused today.
+  const core::VarTable* vars = nullptr;
+};
+
+/// The inference result, keyed by operator identity. Valid until the
+/// plan is structurally modified; removing an operator from the plan
+/// only invalidates that operator's own entry (surviving operators keep
+/// their addresses — OpPtr moves do not relocate the pointee).
+class PlanProps {
+ public:
+  const OpProps* Lookup(const algebra::Op* op) const;
+  /// Item-plan facts, or nullptr if unknown / not an item plan.
+  const ItemProps* Item(const algebra::Op* op) const;
+  /// Tuple-plan facts, or nullptr if unknown / not a tuple plan.
+  const TupleProps* Tuple(const algebra::Op* op) const;
+
+  std::unordered_map<const algebra::Op*, OpProps> by_op;
+};
+
+/// Runs the abstract interpretation over `plan` (item or tuple sorted).
+PlanProps InferPlanProps(const algebra::Op& plan,
+                         const PlanPropsOptions& opts = {});
+
+/// True when `p` proves a Ddo over a sequence with these facts is the
+/// identity: already ordered and duplicate-free, and either all nodes
+/// (no type-error path) or at most one item (Ddo returns length-<=1
+/// sequences unchanged).
+bool ProvenDdoRedundant(const ItemProps& p);
+
+/// Infers and stamps runtime-checkable claims (algebra::Op::props) onto
+/// every item plan whose facts are non-trivial. Order claims are only
+/// stamped when the evaluator can decide them (all-nodes or at most one
+/// item — the IsDistinctDocOrdered probe's domain).
+void AnnotatePlanProps(algebra::Op* plan, const PlanPropsOptions& opts = {});
+
+/// Removes every stamped claim from `plan`.
+void ClearPlanProps(algebra::Op* plan);
+
+}  // namespace xqtp::analysis
+
+#endif  // XQTP_ANALYSIS_PLAN_PROPS_H_

@@ -57,6 +57,18 @@ inline constexpr uint8_t kOdfCacheDupFree = 4;  ///< derived `dup_free`
 /// Packs the cacheable bits of `p` (with kOdfCachePresent set).
 uint8_t PackOdfCache(const OdfProps& p);
 
+/// Unpack helpers for consumers outside core (the algebra property
+/// analyzer seeds its lattice from these bits across algebra::Compile).
+inline bool OdfCachePresent(uint8_t cache) {
+  return (cache & kOdfCachePresent) != 0;
+}
+inline bool OdfCacheOrdered(uint8_t cache) {
+  return (cache & kOdfCachePresent) != 0 && (cache & kOdfCacheOrdered) != 0;
+}
+inline bool OdfCacheDupFree(uint8_t cache) {
+  return (cache & kOdfCachePresent) != 0 && (cache & kOdfCacheDupFree) != 0;
+}
+
 /// Annotates every node of `e` with its derived ordered/dup_free bits
 /// (CoreExpr::odf_cache), under the binding environment the node sits in.
 /// analysis::VerifyCore later re-derives the properties from scratch and

@@ -2,7 +2,9 @@
 
 #include "algebra/printer.h"
 #include "analysis/core_verifier.h"
+#include "analysis/plan_lint.h"
 #include "analysis/plan_verifier.h"
+#include "core/odf.h"
 #include "core/printer.h"
 
 namespace xqtp::engine {
@@ -61,6 +63,10 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
         core::RewriteToTPNF(core::Clone(*q.normalized_), &q.vars_, ropts));
   } else {
     q.rewritten_ = core::Clone(*q.normalized_);
+    // The rewriter annotates ODF as its last step; mirror that here so
+    // algebra::Compile can seed the plan-level property analysis on the
+    // unrewritten pipeline too.
+    core::AnnotateOdf(q.rewritten_.get(), q.vars_);
   }
 
   XQTP_ASSIGN_OR_RETURN(q.plan_,
@@ -86,10 +92,19 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
   oopts.detect_tree_patterns = opts.detect_tree_patterns;
   oopts.positional_patterns = opts.positional_patterns;
   oopts.multi_output_patterns = opts.multi_output_patterns;
+  oopts.infer_properties = opts.infer_properties;
   oopts.verify = options_.verify_plans;
   oopts.vars = &q.vars_;
   oopts.equiv = equiv_checker();
   XQTP_RETURN_NOT_OK(algebra::Optimize(&q.optimized_, &interner_, oopts));
+  if (options_.verify_plans && opts.infer_properties) {
+    // Diagnostics only: lint findings are retained on the query (and in
+    // the explain output) but never fail compilation.
+    analysis::VerifyScope scope("plan lint");
+    analysis::PlanLintOptions lopts;
+    lopts.interner = &interner_;
+    q.lint_findings_ = analysis::LintPlan(*q.optimized_, lopts);
+  }
   return q;
 }
 
@@ -164,6 +179,12 @@ std::string Engine::Explain(const CompiledQuery& q) const {
   out += algebra::ToPrettyString(q.plan(), q.vars(), interner_) + "\n";
   out += "\n== optimized plan ==\n";
   out += algebra::ToPrettyString(q.optimized(), q.vars(), interner_) + "\n";
+  if (!q.lint_findings().empty()) {
+    out += "\n== plan lint ==\n";
+    for (const analysis::LintFinding& f : q.lint_findings()) {
+      out += f.rule + ": " + f.detail + "\n";
+    }
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "algebra/compile.h"
 #include "algebra/optimize.h"
 #include "analysis/equiv_checker.h"
+#include "analysis/plan_lint.h"
 #include "common/status.h"
 #include "core/normalize.h"
 #include "core/rewrite.h"
@@ -68,6 +69,12 @@ struct CompileOptions {
   bool multi_output_patterns = false;
   /// Fine-grained rewrite switches (used by the ablation benchmark).
   core::RewriteOptions rewrite_opts;
+  /// Plan-level property inference (analysis/plan_props.h): prove
+  /// order/distinctness/cardinality facts over the optimized plan, use
+  /// them for property-justified rewrites (OptimizeOptions::
+  /// infer_properties), and stamp the surviving facts as runtime-checked
+  /// claims. Off = the optimizer uses only the structural rules (a)-(g).
+  bool infer_properties = true;
 };
 
 /// A query compiled through every phase, with the intermediate forms
@@ -92,6 +99,13 @@ class CompiledQuery {
   /// Plan statistics of the optimized plan.
   algebra::PlanStats Stats() const { return algebra::ComputeStats(*optimized_); }
 
+  /// PlanLint diagnostics over the optimized plan (analysis/plan_lint.h).
+  /// Populated when the engine runs with verify_plans (debug default);
+  /// findings never fail compilation.
+  const std::vector<analysis::LintFinding>& lint_findings() const {
+    return lint_findings_;
+  }
+
  private:
   friend class Engine;
   std::string source_;
@@ -100,6 +114,7 @@ class CompiledQuery {
   core::CoreExprPtr rewritten_;
   algebra::OpPtr plan_;
   algebra::OpPtr optimized_;
+  std::vector<analysis::LintFinding> lint_findings_;
 };
 
 /// Which plan Execute runs.

@@ -1,6 +1,7 @@
 #include "exec/evaluator.h"
 
 #include <memory>
+#include <unordered_set>
 
 #include "exec/fn_lib.h"
 #include "exec/parallel.h"
@@ -44,9 +45,69 @@ class Evaluator {
  private:
   /// Evaluates an item plan. `tuple` is the current tuple for dependent
   /// plans (IN#field / IN as tuple); `item` is the current item for
-  /// MapFromItem dependents (IN as item).
+  /// MapFromItem dependents (IN as item). When the optimizer stamped
+  /// property claims on the operator, debug builds assert them against
+  /// the concrete output sequence.
   Result<Sequence> EvalItem(const Op& op, const Tuple* tuple,
                             const Item* item) {
+    if (!opts_.check_inferred_props || !op.props.Any()) {
+      return EvalItemInner(op, tuple, item);
+    }
+    XQTP_ASSIGN_OR_RETURN(Sequence out, EvalItemInner(op, tuple, item));
+    XQTP_RETURN_NOT_OK(CheckClaims(op.props, out));
+    return out;
+  }
+
+  /// Asserts one operator's stamped claims on one evaluated sequence.
+  static Status CheckClaims(const algebra::PropsClaims& c,
+                            const Sequence& out) {
+    const int64_t n = static_cast<int64_t>(out.size());
+    if (n < c.card_lo || (c.card_hi >= 0 && n > c.card_hi)) {
+      return Status::Internal(
+          "[plan props] violated claim [claim-card]: sequence length " +
+          std::to_string(n) + " outside inferred [" +
+          std::to_string(c.card_lo) + ", " +
+          (c.card_hi >= 0 ? std::to_string(c.card_hi) : "*") + "]");
+    }
+    if (c.ordered || c.dup_free) {
+      // Order claims are only stamped on sequences inferred all-node (or
+      // at most one item), so a non-node under the claim is itself an
+      // inference bug.
+      for (size_t i = 0; i + 1 < out.size(); ++i) {
+        if (!out[i].IsNode() || !out[i + 1].IsNode()) {
+          return Status::Internal(
+              "[plan props] violated claim [claim-nodes]: atomic item in a "
+              "sequence claimed ordered/duplicate-free");
+        }
+        const xml::Node* a = out[i].node();
+        const xml::Node* b = out[i + 1].node();
+        if (c.ordered && xml::DocOrderLess(b, a)) {
+          return Status::Internal(
+              "[plan props] violated claim [claim-ordered]: adjacent items "
+              "out of document order");
+        }
+        if (c.ordered && c.dup_free && a == b) {
+          return Status::Internal(
+              "[plan props] violated claim [claim-dupfree]: adjacent "
+              "duplicate nodes");
+        }
+      }
+      if (c.dup_free && !c.ordered) {
+        std::unordered_set<const xml::Node*> seen;
+        for (const Item& it : out) {
+          if (it.IsNode() && !seen.insert(it.node()).second) {
+            return Status::Internal(
+                "[plan props] violated claim [claim-dupfree]: duplicate "
+                "node");
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Sequence> EvalItemInner(const Op& op, const Tuple* tuple,
+                                 const Item* item) {
     switch (op.kind) {
       case OpKind::kConst:
         return Sequence{op.literal};

@@ -13,6 +13,7 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <iterator>
 #include <utility>
 
@@ -22,6 +23,15 @@
 #include "xml/document.h"
 
 namespace xqtp::exec {
+
+namespace {
+/// See ParallelEvaluationCountForTesting().
+std::atomic<int64_t> g_parallel_evals{0};
+}  // namespace
+
+int64_t ParallelEvaluationCountForTesting() {
+  return g_parallel_evals.load(std::memory_order_relaxed);
+}
 
 int ThreadPool::ResolveThreads(int threads) {
   if (threads == 0) {
@@ -357,6 +367,7 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
   };
   std::vector<Part> parts(morsels.size());
   std::vector<ExecStats> stats_slots(morsels.size());
+  g_parallel_evals.fetch_add(1, std::memory_order_relaxed);
   pool->Run(static_cast<int>(morsels.size()), [&](int m) {
     ScopedExecStats scope;  // per-morsel collection slot
     const MorselRange& mr = morsels[static_cast<size_t>(m)];
@@ -448,6 +459,7 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
     stats_slots[static_cast<size_t>(m)] = scope.stats();
   };
   if (pool != nullptr && morsels.size() >= 2) {
+    g_parallel_evals.fetch_add(1, std::memory_order_relaxed);
     pool->Run(static_cast<int>(morsels.size()), run_morsel);
   } else {
     for (size_t m = 0; m < morsels.size(); ++m) {

@@ -129,6 +129,13 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
                                            PatternAlgo algo,
                                            const ParallelContext& par);
 
+/// Number of pattern evaluations that actually fanned out to a worker
+/// pool since process start (either morselization strategy, context- or
+/// tuple-level). Process-wide, monotonic, thread-safe. Exposed so tests
+/// can assert that a given execution path did — or, for the sequential
+/// legacy Engine::Execute contract, did not — parallelize.
+int64_t ParallelEvaluationCountForTesting();
+
 /// Pre-builds the lazily-constructed per-tag streams (and, for the
 /// shredded algorithm, the relational NodeTable) that evaluating `tp`
 /// with `algo` will touch, so worker threads only ever hit the built

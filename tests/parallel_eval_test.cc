@@ -206,5 +206,35 @@ TEST(ThreadPoolTest, RunWithZeroCountIsANoOp) {
   pool.Run(0, [](int) { FAIL() << "fn called for empty batch"; });
 }
 
+// The legacy Engine::Execute(q, globals, algo, plan) overload is
+// documented as the sequential path (threads = 1): per-algorithm
+// ExecStats must stay deterministic, so it must never route through the
+// morsel-parallel driver — even on a query wide enough to morselize.
+// ParallelEvaluationCountForTesting() increments each time a pattern is
+// actually handed to a thread pool; the EvalOptions overload with
+// threads=2 proves the same query DOES parallelize when asked to, so a
+// regression in the counter itself cannot make this test pass vacuously.
+TEST_F(ParallelEvalTest, LegacyExecuteOverloadNeverParallelizes) {
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc_->root())}}};
+  auto cq = engine_.Compile("$input//item//location");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+
+  int64_t before = ParallelEvaluationCountForTesting();
+  auto legacy = engine_.Execute(*cq, globals, PatternAlgo::kNLJoin);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(ParallelEvaluationCountForTesting(), before)
+      << "legacy Execute overload routed through the parallel driver";
+
+  // min_fanout=4 (ParallelOpts) keeps the single root tuple below the
+  // tuple-morselization threshold, so the pattern parallelizes via the
+  // root fan-out strategy — the path real single-document queries take.
+  auto parallel =
+      engine_.Execute(*cq, globals, ParallelOpts(PatternAlgo::kNLJoin, 2));
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_GT(ParallelEvaluationCountForTesting(), before)
+      << "control failed: threads=2 never reached the parallel driver";
+  EXPECT_EQ(*legacy, *parallel);
+}
+
 }  // namespace
 }  // namespace xqtp::exec

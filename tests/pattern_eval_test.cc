@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/pattern_eval.h"
+#include "xdm/sequence_ops.h"
 #include "xml/parser.h"
 
 namespace xqtp::exec {
@@ -281,6 +282,79 @@ TEST(PatternBindings, PaperSection41Example) {
     EXPECT_EQ((*rows)[0].fields[1].second->attributes[0]->text, "2");
     EXPECT_EQ((*rows)[1].fields[1].second->attributes[0]->text, "3");
   }
+}
+
+// ---- the IsDistinctDocOrdered probe ----------------------------------------
+// The fast path every Ddo evaluation (and the plan-property claim checker)
+// rests on: true must mean a Ddo is the identity.
+
+class DistinctDocOrderedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto res = xml::Parse("<r><a/><b><c/></b><d/></r>", &interner_);
+    ASSERT_TRUE(res.ok());
+    doc_ = std::move(res).value();
+    const xml::Node* r = doc_->root()->first_child;
+    a_ = r->first_child;
+    b_ = a_->next_sibling;
+    c_ = b_->first_child;
+    d_ = b_->next_sibling;
+  }
+
+  StringInterner interner_;
+  std::unique_ptr<xml::Document> doc_;
+  const xml::Node* a_ = nullptr;
+  const xml::Node* b_ = nullptr;
+  const xml::Node* c_ = nullptr;
+  const xml::Node* d_ = nullptr;
+};
+
+TEST_F(DistinctDocOrderedTest, OrderedDistinctNodesPass) {
+  xdm::Sequence s{xdm::Item(a_), xdm::Item(b_), xdm::Item(c_), xdm::Item(d_)};
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered(s));
+}
+
+TEST_F(DistinctDocOrderedTest, LengthAtMostOneAlwaysPasses) {
+  // Any sequence of length <= 1 is trivially distinct and ordered — even
+  // an atomic, which a Ddo returns unchanged.
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered({}));
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered({xdm::Item(c_)}));
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered({xdm::Item(int64_t{42})}));
+}
+
+TEST_F(DistinctDocOrderedTest, OutOfOrderFails) {
+  EXPECT_FALSE(xdm::IsDistinctDocOrdered({xdm::Item(d_), xdm::Item(a_)}));
+}
+
+TEST_F(DistinctDocOrderedTest, DuplicateFails) {
+  EXPECT_FALSE(xdm::IsDistinctDocOrdered({xdm::Item(a_), xdm::Item(a_)}));
+}
+
+TEST_F(DistinctDocOrderedTest, AtomicAmongNodesFails) {
+  // A multi-item sequence containing any non-node is not doc-ordered
+  // (Ddo on it either type-errors or re-sorts; the fast path must not
+  // claim it).
+  EXPECT_FALSE(
+      xdm::IsDistinctDocOrdered({xdm::Item(a_), xdm::Item(int64_t{1})}));
+  EXPECT_FALSE(
+      xdm::IsDistinctDocOrdered({xdm::Item(int64_t{1}), xdm::Item(b_)}));
+}
+
+TEST_F(DistinctDocOrderedTest, PostDdoSequencesPass) {
+  // DistinctDocOrder's output must satisfy the probe, whatever the input
+  // permutation or duplication.
+  auto sorted = xdm::DistinctDocOrder(
+      {xdm::Item(d_), xdm::Item(a_), xdm::Item(c_), xdm::Item(a_),
+       xdm::Item(b_)});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered(*sorted));
+  EXPECT_EQ(sorted->size(), 4u);
+  // Ancestor/descendant pairs are distinct nodes: both survive, in order.
+  auto pair = xdm::DistinctDocOrder({xdm::Item(c_), xdm::Item(b_)});
+  ASSERT_TRUE(pair.ok());
+  EXPECT_TRUE(xdm::IsDistinctDocOrdered(*pair));
+  EXPECT_EQ(pair->size(), 2u);
+  EXPECT_EQ((*pair)[0].node(), b_);
 }
 
 }  // namespace

@@ -23,12 +23,19 @@ discipline:
   include-guard     header guards are XQTP_<DIR>_<FILE>_H_, derived from
                     the path under src/, so a moved header cannot silently
                     shadow another one's guard.
+  assert-side-effect  no mutation inside assert(...): the expression
+                    vanishes under NDEBUG, so an increment, assignment or
+                    mutating container call there makes Release behave
+                    differently from Debug.
+  allow-reason      every lint:allow(<rule>) must carry a
+                    `reason=<why>` — an unexplained escape hatch is
+                    unreviewable.
 
 A finding prints as `path:line: [rule] message` and the process exits 1.
-A line may opt out with a trailing `lint:allow(<rule>)` comment — intended
-to be rare and reviewable. `--self-test` proves each rule fires on a
-known-bad fixture and stays quiet on a known-good one (exit 0 only if all
-rules behave). Stdlib only; no third-party imports.
+A line may opt out with a trailing `lint:allow(<rule>, reason=<why>)`
+comment — intended to be rare and reviewable. `--self-test` proves each
+rule fires on a known-bad fixture and stays quiet on a known-good one
+(exit 0 only if all rules behave). Stdlib only; no third-party imports.
 """
 
 import argparse
@@ -40,7 +47,7 @@ import tempfile
 # --------------------------------------------------------------------------
 # helpers
 
-ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)(?:,\s*reason=([^)]+))?\)")
 
 
 def strip_comments_and_strings(lines):
@@ -227,8 +234,75 @@ def check_include_guard(relpath, raw, code, findings):
                 "(XQTP_ + path under src/, uppercased)"))
 
 
+# --------------------------------------------------------------------------
+# rule: assert-side-effect
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+ASSERT_MUTATION_PATTERNS = [
+    (re.compile(r"\+\+|--"), "increment/decrement"),
+    # A single '=' that is not part of ==, !=, <=, >=, =>, += etc.
+    (re.compile(r"(?<![=!<>+\-*/%&|^])=(?![=])"), "assignment"),
+    (re.compile(r"\.\s*(?:push_back|pop_back|insert|erase|clear|reset|"
+                r"release|assign|swap|emplace\w*|fetch_add|fetch_sub|"
+                r"store)\s*\("), "mutating call"),
+]
+
+
+def check_assert_side_effect(relpath, raw, code, findings):
+    for lineno, line in enumerate(code, 1):
+        m = ASSERT_RE.search(line)
+        if m is None:
+            continue
+        # Collect the assert's argument text, following the expression
+        # across lines until its parentheses balance (bounded scan).
+        text = line[m.end():]
+        depth = 1
+        collected = []
+        j = lineno - 1
+        for _ in range(10):
+            for c in text:
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                collected.append(c)
+            if depth == 0 or j + 1 >= len(code):
+                break
+            j += 1
+            text = code[j]
+        arg = "".join(collected)
+        for pat, what in ASSERT_MUTATION_PATTERNS:
+            if pat.search(arg) and not allowed(raw[lineno - 1],
+                                               "assert-side-effect"):
+                findings.append(Finding(
+                    relpath, lineno, "assert-side-effect",
+                    f"{what} inside assert(...) — the expression disappears "
+                    "under NDEBUG, so Release would skip the effect"))
+                break
+
+
+# --------------------------------------------------------------------------
+# rule: allow-reason (meta: escape hatches must explain themselves)
+
+def check_allow_reason(relpath, raw, code, findings):
+    for lineno, line in enumerate(raw, 1):
+        m = ALLOW_RE.search(line)
+        if m is None:
+            continue
+        reason = (m.group(2) or "").strip()
+        if not reason:
+            findings.append(Finding(
+                relpath, lineno, "allow-reason",
+                f"lint:allow({m.group(1)}) without a reason= — write "
+                f"lint:allow({m.group(1)}, reason=<why this line is "
+                "exempt>) so the escape hatch is reviewable"))
+
+
 RULES = [check_raw_sync, check_no_stdout, check_nodiscard_status,
-         check_include_guard]
+         check_include_guard, check_assert_side_effect, check_allow_reason]
 
 
 # --------------------------------------------------------------------------
@@ -282,6 +356,22 @@ SELF_TEST_FIXTURES = [
     ("src/bad/guard.h",
      "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
      {"include-guard"}),
+    ("src/bad/assert_mutate.cc",
+     "#include <cassert>\n"
+     "void F(int x) { assert(x++ > 0); }\n"
+     "void G(int n) { assert(n = 1); }\n"
+     "void H() { assert(v.empty() || (v.clear(), true)); }\n",
+     {"assert-side-effect"}),
+    ("src/bad/assert_multiline.cc",
+     "#include <cassert>\n"
+     "void F(int a, int b) {\n"
+     "  assert(a == b &&\n"
+     "         ++a > 0);\n"
+     "}\n",
+     {"assert-side-effect"}),
+    ("src/bad/allow_bare.cc",
+     "void F() { mu.lock(); }  // lint:allow(raw-sync)\n",
+     {"allow-reason"}),  # the allow suppresses raw-sync but must explain
     ("src/good/clean.h",
      "#ifndef XQTP_GOOD_CLEAN_H_\n#define XQTP_GOOD_CLEAN_H_\n"
      "// std::mutex in a comment is fine; \"std::cout\" in a string too.\n"
@@ -293,8 +383,15 @@ SELF_TEST_FIXTURES = [
      "int snprintf_ok(char* b, int n);  // name contains printf, no call\n"
      "#endif  // XQTP_GOOD_CLEAN_H_\n",
      set()),
+    ("src/good/assert_pure.cc",
+     "#include <cassert>\n"
+     "void F(int x) { assert(x == 1 && \"message ++ = ok in string\"); }\n"
+     "void G(int a, int b) { assert(a <= b || a >= 0 || a != b); }\n"
+     "void H() { assert(size() > 1); }\n",
+     set()),
     ("src/good/allow.cc",
-     "void F() { weak.lock(); }  // lint:allow(raw-sync)\n",
+     "void F() { weak.lock(); }"
+     "  // lint:allow(raw-sync, reason=non-std weak_ptr-style lock API)\n",
      set()),
 ]
 
