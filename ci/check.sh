@@ -13,7 +13,13 @@
 #  3. Release + TSan — the morsel-parallel driver's threading tests
 #     (parallel_eval_test, concurrency_test) under ThreadSanitizer:
 #     per-query thread pools, the shared-mutex lazy-index path, and two
-#     parallel queries running concurrently.
+#     parallel queries running concurrently. The leg also forces
+#     -DXQTP_FAULT_INJECTION=ON (fault points are otherwise compiled out
+#     under NDEBUG) and runs the robustness tests (governor_test,
+#     fault_injection_test), so cancellation races and mid-morsel
+#     injected failures are raced under TSan; the Debug/ASan leg above
+#     covers the same tests for leak- and UB-freedom via their
+#     "robustness" ctest label.
 #
 # Between the build/test legs:
 #  - the project lint gate (tools/lint.py): raw sync primitives outside
@@ -29,10 +35,11 @@
 #  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
 #    line is part of the gate's output — the deep seed-matrix sweep under
 #    sanitizers lives in ci/fuzz.sh;
-#  - a bounded smoke run of bench_parallel and bench_plan_props whose
-#    perf-trajectory records (--json) are merged by tools/bench_smoke.py
-#    into BENCH_smoke.json at the repo root, with a WARN-ONLY per-record
-#    timing delta against the committed baseline printed to the log.
+#  - a bounded smoke run of bench_parallel, bench_plan_props and
+#    bench_governor whose perf-trajectory records (--json) are merged by
+#    tools/bench_smoke.py into BENCH_smoke.json at the repo root, with a
+#    WARN-ONLY per-record timing delta against the committed baseline
+#    printed to the log.
 #
 # The debug-sanitize test phase is split by ctest label: `-L analysis`
 # (verifiers, property inference, translation validation) runs first and
@@ -159,6 +166,8 @@ build-ci-release/bench/bench_parallel \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/parallel.json"
 build-ci-release/bench/bench_plan_props \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/plan_props.json"
+build-ci-release/bench/bench_governor \
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/governor.json"
 if git show HEAD:BENCH_smoke.json > "$SMOKE_TMP/baseline.json" 2>/dev/null
 then
   BASELINE=(--baseline "$SMOKE_TMP/baseline.json")
@@ -166,7 +175,8 @@ else
   BASELINE=()
 fi
 python3 tools/bench_smoke.py --out BENCH_smoke.json "${BASELINE[@]}" \
-  "$SMOKE_TMP/parallel.json" "$SMOKE_TMP/plan_props.json"
+  "$SMOKE_TMP/parallel.json" "$SMOKE_TMP/plan_props.json" \
+  "$SMOKE_TMP/governor.json"
 python3 -c "import json; json.load(open('BENCH_smoke.json'))" \
   && echo "BENCH_smoke.json: valid JSON"
 leg_done bench-smoke
@@ -176,16 +186,20 @@ run_config debug-sanitize build-ci-sanitize labeled \
   "-DXQTP_SANITIZE=address;undefined"
 
 # TSan leg: Release (the pool actually spins) with only the threading
-# tests — TSan and ASan cannot be combined, so this is its own tree.
+# and robustness tests — TSan and ASan cannot be combined, so this is its
+# own tree. XQTP_FAULT_INJECTION=ON compiles the fault points into the
+# Release library so the injection sweep races under TSan too.
 echo "==== [tsan] configure ===="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Release \
-  -DXQTP_WERROR=ON -DXQTP_SANITIZE=thread > /dev/null
+  -DXQTP_WERROR=ON -DXQTP_SANITIZE=thread \
+  -DXQTP_FAULT_INJECTION=ON > /dev/null
 echo "==== [tsan] build ===="
 cmake --build build-ci-tsan -j "$JOBS" \
-  --target parallel_eval_test concurrency_test
+  --target parallel_eval_test concurrency_test \
+  governor_test fault_injection_test
 echo "==== [tsan] test ===="
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R '^(parallel_eval_test|concurrency_test)$'
+  -R '^(parallel_eval_test|concurrency_test|governor_test|fault_injection_test)$'
 leg_done tsan
 
 echo "==== leg wall-clock summary ===="

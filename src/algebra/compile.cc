@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "core/typing.h"
 
 namespace xqtp::algebra {
@@ -291,6 +292,7 @@ class Compiler {
 
 Result<OpPtr> Compile(const core::CoreExpr& e, const core::VarTable& vars,
                       StringInterner* interner) {
+  XQTP_FAULT_POINT("algebra.compile");
   Compiler c(vars, interner);
   return c.Run(e);
 }

@@ -7,6 +7,8 @@
 #include "analysis/equiv_checker.h"
 #include "analysis/plan_props.h"
 #include "analysis/plan_verifier.h"
+#include "common/fault_injection.h"
+#include "exec/governor.h"
 
 namespace xqtp::algebra {
 
@@ -783,6 +785,9 @@ Status Optimize(OpPtr* plan, StringInterner* interner,
   // globals when executing snapshots.
   bool check_equiv = opts.equiv != nullptr && opts.vars != nullptr;
   for (int round = 0; round < opts.max_rounds; ++round) {
+    // Compile-time governance checkpoint, mirroring the rewriter's.
+    XQTP_RETURN_NOT_OK(exec::GovernorPoll());
+    XQTP_FAULT_POINT("algebra.optimize.round");
     OpPtr before = check_equiv ? Clone(**plan) : nullptr;
     bool changed = false;
     optimizer.RunRound(plan, &changed);

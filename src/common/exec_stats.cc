@@ -10,7 +10,9 @@ std::string ExecStats::ToString() const {
   return "nodes_visited=" + std::to_string(nodes_visited) +
          " index_entries=" + std::to_string(index_entries_scanned) +
          " index_skips=" + std::to_string(index_skips) +
-         " pattern_evals=" + std::to_string(pattern_evals);
+         " pattern_evals=" + std::to_string(pattern_evals) +
+         " governor_checks=" + std::to_string(governor_checks) +
+         " peak_memory_bytes=" + std::to_string(peak_memory_bytes);
 }
 
 ExecStats* CurrentExecStats() { return g_current; }

@@ -26,16 +26,28 @@ struct ExecStats {
   int64_t index_skips = 0;
   /// TupleTreePattern evaluations (one per input tuple per operator).
   int64_t pattern_evals = 0;
+  /// Cooperative governor checks performed (exec/governor.h): deadline /
+  /// cancellation / budget polls at operator boundaries, inner-loop
+  /// strides, and morsel boundaries. Zero when no governor was active.
+  int64_t governor_checks = 0;
+  /// High-water mark of bytes accounted against the governor's memory
+  /// budget during the execution. Zero when no governor was active.
+  int64_t peak_memory_bytes = 0;
 
   /// Adds another collector's counters into this one. The morsel driver
   /// (exec/parallel.h) gives each worker morsel its own scope and merges
   /// the slots into the calling scope on join, so the counters stay exact
-  /// under parallel execution.
+  /// under parallel execution. peak_memory_bytes merges by maximum — it
+  /// is a high-water mark of one shared accountant, not additive work.
   void Add(const ExecStats& other) {
     nodes_visited += other.nodes_visited;
     index_entries_scanned += other.index_entries_scanned;
     index_skips += other.index_skips;
     pattern_evals += other.pattern_evals;
+    governor_checks += other.governor_checks;
+    if (other.peak_memory_bytes > peak_memory_bytes) {
+      peak_memory_bytes = other.peak_memory_bytes;
+    }
   }
 
   std::string ToString() const;

@@ -1,0 +1,66 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+
+#include "common/mutex.h"
+
+namespace xqtp::fault {
+
+namespace {
+
+// Fast-path gate: Poll sits on hot evaluation paths, so the disarmed case
+// must cost one relaxed load and nothing else. The slow path (anything is
+// armed) takes the mutex for the string compare and counter update.
+std::atomic<bool> g_armed{false};
+std::atomic<int64_t> g_injections{0};
+
+Mutex g_mu;
+std::string* g_site GUARDED_BY(g_mu) = nullptr;
+int64_t g_fire_on_nth GUARDED_BY(g_mu) = 1;
+int64_t g_polls GUARDED_BY(g_mu) = 0;
+
+}  // namespace
+
+bool Enabled() {
+#if XQTP_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Arm(const std::string& site, int64_t fire_on_nth) {
+  MutexLock lock(&g_mu);
+  if (g_site == nullptr) g_site = new std::string();
+  *g_site = site;
+  g_fire_on_nth = fire_on_nth < 1 ? 1 : fire_on_nth;
+  g_polls = 0;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  MutexLock lock(&g_mu);
+  if (g_site != nullptr) g_site->clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+int64_t ArmedPollCount() {
+  MutexLock lock(&g_mu);
+  return g_polls;
+}
+
+int64_t InjectionCount() {
+  return g_injections.load(std::memory_order_relaxed);
+}
+
+Status Poll(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(&g_mu);
+  if (g_site == nullptr || *g_site != site) return Status::OK();
+  if (++g_polls != g_fire_on_nth) return Status::OK();
+  g_injections.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal(std::string(kTag()) + " injected failure at " +
+                          site);
+}
+
+}  // namespace xqtp::fault

@@ -1,0 +1,89 @@
+// Seeded fault injection: named failure sites compiled into the library
+// (Debug builds by default, any build with -DXQTP_FAULT_INJECTION=1) that
+// a test can arm one at a time. An armed site returns a tagged
+// Status::Internal from the exact frame the macro sits in, driving the
+// error through every layer above it — the sweep test
+// (tests/fault_injection_test.cc) forces a failure at every registered
+// site in turn and asserts a clean Status, no leaks (ASan), no lost
+// workers (TSan), and a bit-identical non-injected re-run.
+//
+// Usage at a site (any function returning Status or Result<T>):
+//   XQTP_FAULT_POINT("exec.evaluate");
+//
+// Usage in a test:
+//   fault::ScopedFault f("exec.evaluate");   // arms; disarms on scope exit
+//   ... run a query, expect Status::Internal tagged "[fault-injection]" ...
+//
+// Sites fire on the nth poll after arming (n = 1 by default), so a test
+// can reach deeper occurrences of a repeatedly polled site. Every
+// XQTP_FAULT_POINT name must appear in the sweep test's registry —
+// tools/lint.py (rule fault-site-registered) enforces it.
+#ifndef XQTP_COMMON_FAULT_INJECTION_H_
+#define XQTP_COMMON_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Fault points compile in when XQTP_FAULT_INJECTION is forced on the
+// command line (the TSan CI leg builds Release with it) or, by default,
+// whenever NDEBUG is off.
+#if !defined(XQTP_FAULT_INJECTION) && !defined(NDEBUG)
+#define XQTP_FAULT_INJECTION 1
+#endif
+
+namespace xqtp::fault {
+
+/// True when fault points are compiled into this build. Tests skip the
+/// injection sweep (rather than silently passing) when this is false.
+bool Enabled();
+
+/// Arms `site`: its fire_on_nth-th poll after this call returns the
+/// injected error. Only one site is armed at a time; arming replaces any
+/// previous arm. Thread-safe.
+void Arm(const std::string& site, int64_t fire_on_nth = 1);
+
+/// Disarms whatever is armed. Thread-safe.
+void Disarm();
+
+/// Polls of the armed site since Arm (fired or not). 0 when the armed
+/// site was never reached — how the sweep test detects a dead registry
+/// entry.
+int64_t ArmedPollCount();
+
+/// Total injected failures since process start.
+int64_t InjectionCount();
+
+/// The message prefix of every injected Status, for test assertions.
+inline const char* kTag() { return "[fault-injection]"; }
+
+/// RAII arm-then-disarm, the shape every test should use so a failing
+/// assertion can never leave a site armed for the next test.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& site, int64_t fire_on_nth = 1) {
+    Arm(site, fire_on_nth);
+  }
+  ~ScopedFault() { Disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+/// Called by XQTP_FAULT_POINT. Returns the injected error iff `site` is
+/// armed and this poll is the fire_on_nth-th. Thread-safe; near-free when
+/// nothing is armed (one relaxed atomic load).
+[[nodiscard]]
+Status Poll(const char* site);
+
+}  // namespace xqtp::fault
+
+#if XQTP_FAULT_INJECTION
+#define XQTP_FAULT_POINT(site) XQTP_RETURN_NOT_OK(::xqtp::fault::Poll(site))
+#else
+#define XQTP_FAULT_POINT(site) \
+  do {                         \
+  } while (false)
+#endif
+
+#endif  // XQTP_COMMON_FAULT_INJECTION_H_

@@ -14,6 +14,12 @@ std::string Status::ToString() const {
       return "TypeError: " + message_;
     case StatusCode::kInternal:
       return "Internal: " + message_;
+    case StatusCode::kCancelled:
+      return "Cancelled: " + message_;
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded: " + message_;
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted: " + message_;
   }
   return "Unknown: " + message_;
 }

@@ -18,6 +18,9 @@ enum class StatusCode {
   kNotImplemented,    ///< feature outside the supported fragment
   kTypeError,         ///< dynamic or static type error during evaluation
   kInternal,          ///< invariant violation inside the library
+  kCancelled,         ///< the query's cancel token was triggered
+  kDeadlineExceeded,  ///< the query ran past its monotonic deadline
+  kResourceExhausted, ///< memory budget or recursion-depth limit hit
 };
 
 /// Outcome of a fallible operation: either OK or a code plus message.
@@ -47,6 +50,18 @@ class [[nodiscard]] Status {
   [[nodiscard]]
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]]
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]]
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]]
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -109,11 +124,21 @@ class [[nodiscard]] Result {
 
 /// Evaluate a Result<T>-returning expression; on error propagate the status,
 /// otherwise move the value into `lhs` (a declaration or assignable lvalue).
-#define XQTP_ASSIGN_OR_RETURN(lhs, expr)                         \
-  auto XQTP_CONCAT(_res_, __LINE__) = (expr);                    \
-  if (!XQTP_CONCAT(_res_, __LINE__).ok())                        \
-    return XQTP_CONCAT(_res_, __LINE__).status();                \
-  lhs = std::move(XQTP_CONCAT(_res_, __LINE__)).value()
+///
+/// The temporary holding the Result is named with __COUNTER__ (unique per
+/// expansion, not per line), so two uses on one source line — and nested
+/// uses in enclosing scopes — expand to distinct names: no redefinition
+/// errors, no -Wshadow under -Werror. The expansion is necessarily a
+/// statement sequence (a declared `lhs` must outlive the macro), so it
+/// cannot be the body of a braceless `if`; use braces, which also keeps
+/// the declared variable's scope explicit.
+#define XQTP_ASSIGN_OR_RETURN(lhs, expr) \
+  XQTP_ASSIGN_OR_RETURN_IMPL(XQTP_CONCAT(_res_, __COUNTER__), lhs, expr)
+
+#define XQTP_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
 
 }  // namespace xqtp
 

@@ -2,9 +2,18 @@
 
 #include <unordered_map>
 
+#include "common/fault_injection.h"
+
 namespace xqtp::core {
 
 namespace {
+
+/// Norm recurses once per surface-expression nesting level (and the
+/// helpers add a few frames each); a machine-generated deeply nested
+/// query must fail cleanly instead of overflowing the C++ stack. The
+/// cap is sized for sanitizer builds, whose redzone-fattened frames
+/// overflow an 8 MiB stack at roughly double this depth.
+constexpr int kMaxNormalizeDepth = 1000;
 
 using xquery::Expr;
 using xquery::ExprKind;
@@ -293,6 +302,21 @@ class Normalizer {
   }
 
   Result<CoreExprPtr> Norm(const Expr& e, const Env& env) {
+    XQTP_FAULT_POINT("core.normalize");
+    if (++depth_ > kMaxNormalizeDepth) {
+      return Status::ResourceExhausted(
+          "query expression nesting depth " + std::to_string(depth_) +
+          " exceeds the normalizer limit of " +
+          std::to_string(kMaxNormalizeDepth));
+    }
+    struct DepthGuard {
+      int* depth;
+      ~DepthGuard() { --*depth; }
+    } guard{&depth_};
+    return NormInner(e, env);
+  }
+
+  Result<CoreExprPtr> NormInner(const Expr& e, const Env& env) {
     switch (e.kind) {
       case ExprKind::kVarRef: {
         auto it = env.scope.find(e.var_name);
@@ -460,6 +484,7 @@ class Normalizer {
   }
 
   VarTable* vars_;
+  int depth_ = 0;  ///< current Norm recursion depth (kMaxNormalizeDepth cap)
 };
 
 }  // namespace

@@ -4,12 +4,35 @@
 
 #include "analysis/core_verifier.h"
 #include "analysis/equiv_checker.h"
+#include "common/fault_injection.h"
 #include "core/odf.h"
 #include "core/typing.h"
+#include "exec/governor.h"
 
 namespace xqtp::core {
 
 namespace {
+
+/// The rewrite rule families recurse once per Core nesting level; a tree
+/// deeper than this fails cleanly (kResourceExhausted) before the first
+/// family risks the C++ stack. Computed iteratively — the checker itself
+/// must not recurse.
+constexpr int kMaxRewriteDepth = 2500;
+
+int CoreDepth(const CoreExpr& root) {
+  int max_depth = 0;
+  std::vector<std::pair<const CoreExpr*, int>> stack{{&root, 1}};
+  while (!stack.empty()) {
+    auto [e, d] = stack.back();
+    stack.pop_back();
+    if (d > max_depth) max_depth = d;
+    for (const CoreExprPtr& c : e->children) {
+      stack.push_back({c.get(), d + 1});
+    }
+    if (e->where) stack.push_back({e->where.get(), d + 1});
+  }
+  return max_depth;
+}
 
 /// True iff `v` appears as the context variable of some step in `e` —
 /// such occurrences can only be substituted by another variable.
@@ -365,6 +388,11 @@ void UnsoundStripAllDdo(CoreExprPtr* e, bool* changed) {
 
 Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
                                   const RewriteOptions& opts) {
+  if (int depth = CoreDepth(*e); depth > kMaxRewriteDepth) {
+    return Status::ResourceExhausted(
+        "Core expression nesting depth " + std::to_string(depth) +
+        " exceeds the rewriter limit of " + std::to_string(kMaxRewriteDepth));
+  }
   // Verifies the tree after a rule family changed it, attributing any
   // violation to that family via the ambient VerifyScope; with an
   // EquivChecker attached, additionally validates that the family
@@ -387,6 +415,10 @@ Result<CoreExprPtr> RewriteToTPNF(CoreExprPtr e, VarTable* vars,
     return opts.equiv != nullptr ? Clone(*e) : nullptr;
   };
   for (int round = 0; round < opts.max_rounds; ++round) {
+    // Compile-time governance checkpoint: a deadline or cancellation set
+    // on CompileOptions interrupts the fixpoint between rounds.
+    XQTP_RETURN_NOT_OK(exec::GovernorPoll());
+    XQTP_FAULT_POINT("core.rewrite.round");
     bool changed = false;
     if (opts.typeswitch_rules) {
       analysis::VerifyScope scope("core rewrite: typeswitch rules");

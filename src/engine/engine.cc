@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "algebra/printer.h"
+#include "common/fault_injection.h"
 #include "analysis/core_verifier.h"
 #include "analysis/plan_lint.h"
 #include "analysis/plan_verifier.h"
@@ -40,6 +41,18 @@ analysis::EquivChecker* Engine::equiv_checker() {
 
 Result<CompiledQuery> Engine::Compile(std::string_view query,
                                       const CompileOptions& opts) {
+  // Compile-time governance: the rewriter and optimizer poll the ambient
+  // governor once per fixpoint round (core/rewrite.cc, algebra/optimize.cc).
+  exec::GovernorLimits climits;
+  climits.deadline = opts.deadline;
+  climits.cancel_token = opts.cancel_token;
+  std::optional<exec::QueryGovernor> governor;
+  std::optional<exec::ScopedGovernor> governed;
+  if (climits.Any()) {
+    governor.emplace(climits);
+    governed.emplace(&*governor);
+  }
+
   CompiledQuery q;
   q.source_ = std::string(query);
 
@@ -130,6 +143,7 @@ Result<xdm::Sequence> Engine::Execute(const CompiledQuery& q,
                                       const GlobalMap& globals,
                                       const exec::EvalOptions& opts,
                                       PlanChoice plan) const {
+  XQTP_FAULT_POINT("engine.execute");
   exec::Bindings bindings;
   for (core::VarId v = 0; v < static_cast<core::VarId>(q.vars().size());
        ++v) {

@@ -75,6 +75,13 @@ struct CompileOptions {
   /// infer_properties), and stamp the surviving facts as runtime-checked
   /// claims. Off = the optimizer uses only the structural rules (a)-(g).
   bool infer_properties = true;
+  /// Compile-time resource limits: when either is set, Compile installs a
+  /// governor for its duration and the rewriter's / optimizer's fixpoint
+  /// rounds poll it — an adversarial query cannot pin the compiler any
+  /// more than the evaluator. Independent of the execution-time limits in
+  /// exec::EvalOptions.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::shared_ptr<exec::CancelToken> cancel_token;
 };
 
 /// A query compiled through every phase, with the intermediate forms

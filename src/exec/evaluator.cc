@@ -3,6 +3,8 @@
 #include <memory>
 #include <unordered_set>
 
+#include "common/exec_stats.h"
+#include "common/fault_injection.h"
 #include "exec/fn_lib.h"
 #include "exec/parallel.h"
 #include "xdm/sequence_ops.h"
@@ -17,6 +19,24 @@ using algebra::OpKind;
 using algebra::OpPtr;
 using xdm::Item;
 using xdm::Sequence;
+
+/// Approximate materialization cost of a sequence for the governor's
+/// byte accountant. Items are counted at their in-vector size; string
+/// payloads and node identity are shared and not re-counted. The point is
+/// trapping runaway *cardinality* (cross products), not exact heap audit.
+int64_t ApproxBytes(const Sequence& s) {
+  return static_cast<int64_t>(s.size() * sizeof(Item));
+}
+
+/// Approximate materialization cost of a tuple: its fields vector plus
+/// every field's sequence.
+int64_t ApproxBytes(const Tuple& t) {
+  int64_t bytes =
+      static_cast<int64_t>(t.field_count() *
+                           (sizeof(Symbol) + sizeof(Sequence)));
+  for (const auto& [sym, seq] : t.fields()) bytes += ApproxBytes(seq);
+  return bytes;
+}
 
 class Evaluator {
  public:
@@ -35,6 +55,9 @@ class Evaluator {
         if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
         return pool_.get();
       };
+      // Workers re-install the query's governor per morsel; the caller
+      // (Evaluate) has already installed it on this thread.
+      par_->governor = CurrentGovernor();
     }
   }
 
@@ -108,6 +131,17 @@ class Evaluator {
 
   Result<Sequence> EvalItemInner(const Op& op, const Tuple* tuple,
                                  const Item* item) {
+    // The operator boundary is the evaluator's cooperative check cadence,
+    // strided: a full governor check (cancel + deadline + budget) every
+    // 32nd operator evaluation. Unstrided, the check's clock read and
+    // atomics cost ~10% on cheap per-tuple plans (bench_governor); the
+    // stride bounds cancellation latency by 32 operator evaluations while
+    // keeping the overhead under the 2% target. Plain member counter:
+    // the evaluator runs on the coordinating thread only (morsel workers
+    // poll through their own per-morsel GovernorTickers).
+    if ((governor_tick_++ & 31u) == 0) {
+      XQTP_RETURN_NOT_OK(GovernorPoll());
+    }
     switch (op.kind) {
       case OpKind::kConst:
         return Sequence{op.literal};
@@ -166,8 +200,10 @@ class Evaluator {
         XQTP_ASSIGN_OR_RETURN(TupleSeq tuples,
                               EvalTuples(*op.inputs[0], tuple));
         Sequence out;
+        ScopedMemoryCharge mem;
         for (const Tuple& t : tuples) {
           XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, &t, nullptr));
+          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
           out.insert(out.end(), part.begin(), part.end());
         }
         return out;
@@ -197,8 +233,10 @@ class Evaluator {
       }
       case OpKind::kSequence: {
         Sequence out;
+        ScopedMemoryCharge mem;
         for (const OpPtr& in : op.inputs) {
           XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*in, tuple, item));
+          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
           out.insert(out.end(), part.begin(), part.end());
         }
         return out;
@@ -212,6 +250,10 @@ class Evaluator {
         XQTP_ASSIGN_OR_RETURN(Sequence seq,
                               EvalItem(*op.inputs[0], tuple, item));
         Sequence out;
+        // The FLWOR loop is where cross products materialize: the charge
+        // grows with the accumulated output, so a runaway join trips the
+        // budget mid-loop instead of after exhausting the heap.
+        ScopedMemoryCharge mem;
         for (size_t i = 0; i < seq.size(); ++i) {
           scoped_[op.var] = Sequence{seq[i]};
           if (op.pos_var != core::kNoVar) {
@@ -226,6 +268,7 @@ class Evaluator {
             if (!keep) continue;
           }
           XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, tuple, item));
+          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
           out.insert(out.end(), part.begin(), part.end());
         }
         scoped_.erase(op.var);
@@ -263,6 +306,7 @@ class Evaluator {
 
   Result<Sequence> EvalFnCall(const Op& op, const Tuple* tuple,
                               const Item* item) {
+    XQTP_FAULT_POINT("exec.fn_call");
     std::vector<Sequence> args;
     args.reserve(op.inputs.size());
     for (const OpPtr& in : op.inputs) {
@@ -287,11 +331,13 @@ class Evaluator {
                               EvalItem(*op.inputs[0], ambient, nullptr));
         TupleSeq out;
         out.reserve(items.size());
+        ScopedMemoryCharge mem;
         for (const Item& it : items) {
           Tuple t;
           XQTP_ASSIGN_OR_RETURN(Sequence value,
                                 EvalItem(*op.dep, ambient, &it));
           t.Set(op.field, std::move(value));
+          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(t)));
           out.push_back(std::move(t));
         }
         return out;
@@ -299,10 +345,13 @@ class Evaluator {
       case OpKind::kSelect: {
         XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
         TupleSeq out;
+        ScopedMemoryCharge mem;
         for (Tuple& t : in) {
           XQTP_ASSIGN_OR_RETURN(Sequence pred, EvalItem(*op.dep, &t, nullptr));
           XQTP_ASSIGN_OR_RETURN(bool keep, xdm::EffectiveBooleanValue(pred));
-          if (keep) out.push_back(std::move(t));
+          if (!keep) continue;
+          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(t)));
+          out.push_back(std::move(t));
         }
         return out;
       }
@@ -316,6 +365,7 @@ class Evaluator {
           return EvalPatternTuplesParallel(op.tp, in, opts_.algo, *par_);
         }
         TupleSeq out;
+        ScopedMemoryCharge mem;
         for (const Tuple& t : in) {
           const Sequence* ctx = t.Get(op.tp.input_field);
           if (ctx == nullptr) {
@@ -325,6 +375,8 @@ class Evaluator {
           XQTP_ASSIGN_OR_RETURN(
               std::vector<BindingRow> rows,
               EvalPattern(op.tp, *ctx, opts_.algo, par_.get()));
+          XQTP_RETURN_NOT_OK(mem.Grow(
+              static_cast<int64_t>(rows.size() * sizeof(BindingRow))));
           for (const BindingRow& row : rows) {
             Tuple nt = t;
             for (const auto& [sym, node] : row.fields) {
@@ -343,6 +395,9 @@ class Evaluator {
   const core::VarTable& vars_;
   const Bindings& bindings_;
   const EvalOptions& opts_;
+  /// Stride counter for the operator-boundary governor check (see
+  /// EvalItemInner); coordinating thread only.
+  uint32_t governor_tick_ = 0;
   std::unordered_map<core::VarId, Sequence> scoped_;
   /// Parallel-evaluation parameters (null when opts_.threads resolves
   /// to 1) and the lazily-created per-query pool behind par_->pool.
@@ -354,8 +409,29 @@ class Evaluator {
 
 Result<Sequence> Evaluate(const Op& plan, const core::VarTable& vars,
                           const Bindings& bindings, const EvalOptions& opts) {
+  XQTP_FAULT_POINT("exec.evaluate");
+  if (!opts.HasGovernorLimits()) {
+    Evaluator ev(vars, bindings, opts);
+    return ev.Run(plan);
+  }
+  GovernorLimits limits;
+  limits.deadline = opts.deadline;
+  limits.memory_budget_bytes = opts.memory_budget_bytes;
+  limits.cancel_token = opts.cancel_token;
+  QueryGovernor governor(limits);
+  ScopedGovernor install(&governor);
   Evaluator ev(vars, bindings, opts);
-  return ev.Run(plan);
+  Result<Sequence> res = ev.Run(plan);
+  // Record the governor's telemetry whether the query completed or
+  // tripped; worker-morsel checks land here too (the counters are the
+  // shared governor's atomics).
+  if (ExecStats* s = CurrentExecStats()) {
+    s->governor_checks += governor.checks();
+    if (governor.peak_bytes() > s->peak_memory_bytes) {
+      s->peak_memory_bytes = governor.peak_bytes();
+    }
+  }
+  return res;
 }
 
 }  // namespace xqtp::exec

@@ -4,12 +4,17 @@
 #ifndef XQTP_EXEC_EVALUATOR_H_
 #define XQTP_EXEC_EVALUATOR_H_
 
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "algebra/ops.h"
 #include "analysis/verify_scope.h"
 #include "common/status.h"
 #include "core/ast.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "exec/tuple.h"
 
@@ -35,6 +40,27 @@ struct EvalOptions {
   /// "[plan props]" — an inference bug becomes a failing test, not a
   /// silently wrong plan. On by default in Debug/sanitizer builds.
   bool check_inferred_props = analysis::kVerifyByDefault;
+  /// Monotonic wall-clock deadline. When set, governor checks compare
+  /// steady_clock::now() against it and the evaluation returns
+  /// kDeadlineExceeded once it expires (cooperatively — the verdict
+  /// surfaces at the next operator boundary / inner-loop stride).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Budget (bytes) for governor-accounted materialized intermediates;
+  /// 0 = unlimited. Exceeding it returns kResourceExhausted. Accounting
+  /// is approximate (sizeof-based, per materialized sequence/tuple batch;
+  /// see DESIGN.md "Resource governance").
+  int64_t memory_budget_bytes = 0;
+  /// External cancellation token, shared with whoever may cancel. A
+  /// Cancel() from any thread makes the evaluation return kCancelled at
+  /// the next governor check. Null = not cancellable.
+  std::shared_ptr<CancelToken> cancel_token;
+
+  /// True when any governor limit is set (a QueryGovernor is installed
+  /// for the evaluation only in that case — otherwise checks are free).
+  bool HasGovernorLimits() const {
+    return deadline.has_value() || memory_budget_bytes > 0 ||
+           cancel_token != nullptr;
+  }
 };
 
 /// Values for the query's global variables.

@@ -1,0 +1,78 @@
+#include "exec/governor.h"
+
+#include <string>
+
+namespace xqtp::exec {
+
+namespace {
+thread_local QueryGovernor* g_current = nullptr;
+}  // namespace
+
+QueryGovernor* CurrentGovernor() { return g_current; }
+
+ScopedGovernor::ScopedGovernor(QueryGovernor* governor)
+    : previous_(g_current) {
+  g_current = governor;
+}
+
+ScopedGovernor::~ScopedGovernor() { g_current = previous_; }
+
+Status QueryGovernor::Trip(Status s) {
+  // First trip wins: a deadline expiring while a cancel unwinds must not
+  // flip the query's verdict between checks.
+  int expected = 0;
+  tripped_.compare_exchange_strong(expected, static_cast<int>(s.code()),
+                                   std::memory_order_relaxed);
+  StatusCode code = static_cast<StatusCode>(
+      tripped_.load(std::memory_order_relaxed));
+  if (code == s.code()) return s;
+  switch (code) {
+    case StatusCode::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    default:
+      return Status::ResourceExhausted("query memory budget exceeded");
+  }
+}
+
+Status QueryGovernor::Check() {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  int tripped = tripped_.load(std::memory_order_relaxed);
+  if (tripped != 0) return Trip(Status::OK());
+  if (limits_.cancel_token != nullptr && limits_.cancel_token->cancelled()) {
+    return Trip(Status::Cancelled("query cancelled"));
+  }
+  if (limits_.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *limits_.deadline) {
+    return Trip(Status::DeadlineExceeded("query deadline exceeded"));
+  }
+  if (limits_.memory_budget_bytes > 0 &&
+      accounted_.load(std::memory_order_relaxed) >
+          limits_.memory_budget_bytes) {
+    return Trip(Status::ResourceExhausted(
+        "query memory budget exceeded: " +
+        std::to_string(accounted_.load(std::memory_order_relaxed)) +
+        " bytes accounted against a budget of " +
+        std::to_string(limits_.memory_budget_bytes)));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::Charge(int64_t bytes) {
+  int64_t now = accounted_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free high-water mark.
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (limits_.memory_budget_bytes > 0 && now > limits_.memory_budget_bytes) {
+    return Trip(Status::ResourceExhausted(
+        "query memory budget exceeded: " + std::to_string(now) +
+        " bytes accounted against a budget of " +
+        std::to_string(limits_.memory_budget_bytes)));
+  }
+  return Status::OK();
+}
+
+}  // namespace xqtp::exec

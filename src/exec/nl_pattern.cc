@@ -1,49 +1,17 @@
-#include <algorithm>
-
-#include "exec/cost_model.h"
-#include "storage/node_table.h"
+// Nested-loop pattern evaluation: depth-first navigation over
+// first-child / next-sibling cursors. The recursive enumeration is the
+// library's most open-ended loop (fan-out is data-dependent and
+// unbounded), so it carries a strided governor poll: a deadline or an
+// external cancel interrupts the traversal mid-enumeration, surfacing
+// from EvalPatternNL as the governor's Status.
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
-#include "exec/parallel.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
 
 namespace xqtp::exec {
-
-const char* PatternAlgoName(PatternAlgo algo) {
-  switch (algo) {
-    case PatternAlgo::kNLJoin:
-      return "NLJoin";
-    case PatternAlgo::kStaircase:
-      return "SCJoin";
-    case PatternAlgo::kTwig:
-      return "TwigJoin";
-    case PatternAlgo::kStream:
-      return "Stream";
-    case PatternAlgo::kTwigStack:
-      return "TwigStack";
-    case PatternAlgo::kShredded:
-      return "Shredded";
-    case PatternAlgo::kCostBased:
-      return "CostBased";
-  }
-  return "?";
-}
-
-bool RowLexLess(const BindingRow& a, const BindingRow& b) {
-  size_t n = std::min(a.fields.size(), b.fields.size());
-  for (size_t i = 0; i < n; ++i) {
-    const xml::Node* na = a.fields[i].second;
-    const xml::Node* nb = b.fields[i].second;
-    if (na != nb) return xml::DocOrderLess(na, nb);
-  }
-  return a.fields.size() < b.fields.size();
-}
-
-void FinalizeRows(std::vector<BindingRow>* rows) {
-  std::sort(rows->begin(), rows->end(), RowLexLess);
-  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
-}
 
 namespace {
 
@@ -54,12 +22,16 @@ using xml::Node;
 
 /// True iff the sub-pattern rooted at `p` has a match starting from `ctx`
 /// (existential check used for predicate branches). Early-exits on the
-/// first match, so highly selective predicates stay cheap.
-bool ExistsMatch(const Node* ctx, const PatternNode& p) {
+/// first match, so highly selective predicates stay cheap. A tripped
+/// governor also returns false — the latched ticker status makes the
+/// caller discard the bogus partial answer.
+bool ExistsMatch(const Node* ctx, const PatternNode& p,
+                 GovernorTicker* gov) {
   xdm::Sequence candidates;
   xdm::EvalAxisStep(ctx, p.axis, p.test, &candidates);
   int pos = 0;
   for (const xdm::Item& it : candidates) {
+    if (!gov->Tick()) return false;
     const Node* n = it.node();
     // Positional constraint: only the position-th raw match counts.
     ++pos;
@@ -69,24 +41,25 @@ bool ExistsMatch(const Node* ctx, const PatternNode& p) {
     }
     bool preds_ok = true;
     for (const PatternNodePtr& pred : p.predicates) {
-      if (!ExistsMatch(n, *pred)) {
+      if (!ExistsMatch(n, *pred, gov)) {
         preds_ok = false;
         break;
       }
     }
     if (!preds_ok) continue;
-    if (p.next == nullptr || ExistsMatch(n, *p.next)) return true;
+    if (p.next == nullptr || ExistsMatch(n, *p.next, gov)) return true;
   }
   return false;
 }
 
 /// Depth-first enumeration of main-path bindings.
 void Enumerate(const Node* ctx, const PatternNode& p, BindingRow* partial,
-               std::vector<BindingRow>* rows) {
+               std::vector<BindingRow>* rows, GovernorTicker* gov) {
   xdm::Sequence candidates;
   xdm::EvalAxisStep(ctx, p.axis, p.test, &candidates);
   int pos = 0;
   for (const xdm::Item& it : candidates) {
+    if (!gov->Tick()) return;
     const Node* n = it.node();
     ++pos;
     if (p.position > 0) {
@@ -95,7 +68,7 @@ void Enumerate(const Node* ctx, const PatternNode& p, BindingRow* partial,
     }
     bool preds_ok = true;
     for (const PatternNodePtr& pred : p.predicates) {
-      if (!ExistsMatch(n, *pred)) {
+      if (!ExistsMatch(n, *pred, gov)) {
         preds_ok = false;
         break;
       }
@@ -104,7 +77,7 @@ void Enumerate(const Node* ctx, const PatternNode& p, BindingRow* partial,
     bool annotated = p.output != kInvalidSymbol;
     if (annotated) partial->fields.emplace_back(p.output, n);
     if (p.next != nullptr) {
-      Enumerate(n, *p.next, partial, rows);
+      Enumerate(n, *p.next, partial, rows, gov);
     } else {
       rows->push_back(*partial);
     }
@@ -133,11 +106,13 @@ bool HasPredicateOutputs(const PatternNode& p) {
 
 Result<std::vector<BindingRow>> EvalPatternNL(const TreePattern& tp,
                                               const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("exec.pattern.nl");
   if (tp.root == nullptr) return std::vector<BindingRow>{};
   if (HasPredicateOutputs(*tp.root)) {
     return Status::NotImplemented(
         "output annotations inside predicate branches are not supported");
   }
+  GovernorTicker gov;
   std::vector<BindingRow> rows;
   BindingRow partial;
   for (const xdm::Item& it : context) {
@@ -145,46 +120,11 @@ Result<std::vector<BindingRow>> EvalPatternNL(const TreePattern& tp,
       return Status::TypeError(
           "tree pattern applied to a non-node context item");
     }
-    Enumerate(it.node(), *tp.root, &partial, &rows);
+    Enumerate(it.node(), *tp.root, &partial, &rows, &gov);
+    if (!gov.status().ok()) return gov.status();
   }
   FinalizeRows(&rows);
   return rows;
-}
-
-Result<std::vector<BindingRow>> EvalPatternSequential(
-    const TreePattern& tp, const xdm::Sequence& context, PatternAlgo algo) {
-  switch (algo) {
-    case PatternAlgo::kNLJoin:
-      return EvalPatternNL(tp, context);
-    case PatternAlgo::kStaircase:
-      return EvalPatternStaircase(tp, context);
-    case PatternAlgo::kTwig:
-      return EvalPatternTwig(tp, context);
-    case PatternAlgo::kStream:
-      return EvalPatternStream(tp, context);
-    case PatternAlgo::kTwigStack:
-      return EvalPatternTwigStack(tp, context);
-    case PatternAlgo::kShredded:
-      return storage::EvalPatternShredded(tp, context);
-    case PatternAlgo::kCostBased:
-      return EvalPatternSequential(tp, context, ChooseAlgorithm(tp, context));
-  }
-  return Status::Internal("unknown pattern algorithm");
-}
-
-Result<std::vector<BindingRow>> EvalPattern(const TreePattern& tp,
-                                            const xdm::Sequence& context,
-                                            PatternAlgo algo,
-                                            const ParallelContext* par) {
-  CountPatternEval();
-  // Resolve the cost-based choice once, against the full context, so a
-  // morselized evaluation runs ONE algorithm across all its morsels.
-  if (algo == PatternAlgo::kCostBased) algo = ChooseAlgorithm(tp, context);
-  if (par != nullptr) {
-    Result<std::vector<BindingRow>> rows = std::vector<BindingRow>{};
-    if (TryEvalPatternParallel(tp, context, algo, *par, &rows)) return rows;
-  }
-  return EvalPatternSequential(tp, context, algo);
 }
 
 }  // namespace xqtp::exec

@@ -17,6 +17,7 @@
 #include <iterator>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
 #include "storage/node_table.h"
 #include "xdm/sequence_ops.h"
@@ -370,14 +371,30 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
   g_parallel_evals.fetch_add(1, std::memory_order_relaxed);
   pool->Run(static_cast<int>(morsels.size()), [&](int m) {
     ScopedExecStats scope;  // per-morsel collection slot
+    // Each worker morsel re-installs the query's governor: cancellation
+    // is observed between morsels (the entry poll) and on the inner-loop
+    // strides of the sequential algorithm it runs.
+    ScopedGovernor governed(par.governor);
+    Part& part = parts[static_cast<size_t>(m)];
+    Status entry = GovernorPoll();
+#if XQTP_FAULT_INJECTION
+    if (entry.ok()) entry = fault::Poll("exec.parallel.morsel");
+#endif
+    if (!entry.ok()) {
+      // A tripped governor's verdict is sticky, so every skipped morsel
+      // reports the same status: the pool drains cleanly without doing
+      // the remaining work and no partial result leaks out.
+      part.rows = std::move(entry);
+      stats_slots[static_cast<size_t>(m)] = scope.stats();
+      return;
+    }
     const MorselRange& mr = morsels[static_cast<size_t>(m)];
     xdm::Sequence ctx;
     ctx.reserve(mr.end - mr.begin);
     for (size_t i = mr.begin; i < mr.end; ++i) {
       ctx.push_back(xdm::Item(units[i]));
     }
-    parts[static_cast<size_t>(m)].rows =
-        EvalPatternSequential(*eval_tp, ctx, algo);
+    part.rows = EvalPatternSequential(*eval_tp, ctx, algo);
     stats_slots[static_cast<size_t>(m)] = scope.stats();
   });
   MergeWorkerStats(stats_slots);
@@ -425,9 +442,13 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
   std::vector<ExecStats> stats_slots(morsels.size());
   auto run_morsel = [&](int m) {
     ScopedExecStats scope;
+    ScopedGovernor governed(par.governor);
     const MorselRange& mr = morsels[static_cast<size_t>(m)];
     TupleSeq out;
-    Status err = Status::OK();
+    Status err = GovernorPoll();  // observe cancellation between morsels
+#if XQTP_FAULT_INJECTION
+    if (err.ok()) err = fault::Poll("exec.parallel.morsel");
+#endif
     for (size_t i = mr.begin; i < mr.end && err.ok(); ++i) {
       const Tuple& t = in[i];
       const xdm::Sequence* ctx = t.Get(tp.input_field);

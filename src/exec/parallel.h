@@ -39,6 +39,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "exec/tuple.h"
 #include "pattern/tree_pattern.h"
@@ -96,6 +97,11 @@ class ThreadPool {
 /// a pattern actually morselizes.
 struct ParallelContext {
   std::function<ThreadPool*()> pool;
+  /// The query's governor, or nullptr when no limits are set. Workers
+  /// install it (exec/governor.h ScopedGovernor) for the duration of each
+  /// morsel, observe cancellation between morsels, and share its sticky
+  /// verdict — the governor itself is thread-safe.
+  QueryGovernor* governor = nullptr;
   /// Resolved pool size (>= 2; a context is only built for parallel runs).
   int threads = 2;
   /// Minimum root fan-out (context nodes or root-step candidates) before

@@ -12,8 +12,10 @@
 // linear paths.
 #include <algorithm>
 
-#include "exec/pattern_eval.h"
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
+#include "exec/governor.h"
+#include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
 
@@ -77,7 +79,7 @@ class StaircaseEval {
   std::vector<const Node*> Step(std::vector<const Node*> ctx, Axis axis,
                                 const NodeTest& test, int position = 0) {
     std::vector<const Node*> out;
-    if (ctx.empty()) return out;
+    if (ctx.empty() || !gov_.Tick()) return out;
     if (position > 0) {
       const Document& doc = *ctx.front()->doc;
       for (const Node* c : ctx) {
@@ -140,6 +142,7 @@ class StaircaseEval {
           pos = static_cast<size_t>(it - stream.begin());
           // Descendants of c are contiguous in preorder.
           while (pos < stream.size() && stream[pos]->post < c->post) {
+            if (!gov_.Tick()) return out;
             out.push_back(stream[pos]);
             ++pos;
             CountIndexEntries(1);
@@ -166,6 +169,7 @@ class StaircaseEval {
               stream.begin(), stream.end(), c->pre,
               [](int32_t pre, const Node* n) { return pre < n->pre; });
           for (; it != stream.end() && (*it)->post < c->post; ++it) {
+            if (!gov_.Tick()) return out;
             CountIndexEntries(1);
             if ((*it)->parent == c) out.push_back(*it);
           }
@@ -226,6 +230,7 @@ class StaircaseEval {
       std::vector<const Node*> kept;
       kept.reserve(candidates.size());
       for (const Node* n : candidates) {
+        if (!gov_.Tick()) break;
         bool ok = true;
         for (const PatternNodePtr& pred : p.predicates) {
           if (!Exists(n, *pred)) {
@@ -242,12 +247,21 @@ class StaircaseEval {
                                          p.next->test, p.next->position);
     return Matches(std::move(next), *p.next);
   }
+
+  /// The governor verdict that interrupted the scans, or OK. Checked by
+  /// EvalPatternStaircase before the (possibly truncated) result is used.
+  [[nodiscard]]
+  const Status& status() const { return gov_.status(); }
+
+ private:
+  GovernorTicker gov_;
 };
 
 }  // namespace
 
 Result<std::vector<BindingRow>> EvalPatternStaircase(
     const TreePattern& tp, const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("exec.pattern.staircase");
   if (tp.root == nullptr) return std::vector<BindingRow>{};
   if (!tp.SingleOutputAtExtractionPoint()) {
     // The staircase join is a set-at-a-time path algorithm; full binding
@@ -272,6 +286,7 @@ Result<std::vector<BindingRow>> EvalPatternStaircase(
   std::vector<const Node*> first = eval.Step(
       std::move(ctx), tp.root->axis, tp.root->test, tp.root->position);
   std::vector<const Node*> result = eval.Matches(std::move(first), *tp.root);
+  XQTP_RETURN_NOT_OK(eval.status());
   Symbol out = tp.OutputFields()[0];
   std::vector<BindingRow> rows;
   rows.reserve(result.size());

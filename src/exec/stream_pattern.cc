@@ -16,7 +16,9 @@
 #include <deque>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
@@ -101,6 +103,10 @@ class StreamEval {
          c = c->next_sibling) {
       stack.push_back({c, 0, false});
       while (!stack.empty()) {
+        // One governor tick per stream event: a deadline or cancel
+        // interrupts the scan mid-region (candidates are discarded by the
+        // caller once the latched status surfaces).
+        if (!gov_.Tick()) return;
         Frame& f = stack.back();
         if (!f.entered) {
           f.entered = true;
@@ -122,6 +128,10 @@ class StreamEval {
     }
     EndNode(n_self);
   }
+
+  /// The governor verdict that interrupted the stream, or OK.
+  [[nodiscard]]
+  const Status& status() const { return gov_.status(); }
 
   /// Resolves buffered candidates into output nodes, in stream order.
   std::vector<const Node*> Finish() {
@@ -287,12 +297,14 @@ class StreamEval {
   std::vector<std::pair<const Node*, Instance*>> candidates_;
   const Node* context_ = nullptr;
   int extraction_ = -1;
+  GovernorTicker gov_;
 };
 
 }  // namespace
 
 Result<std::vector<BindingRow>> EvalPatternStream(
     const pattern::TreePattern& tp, const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("exec.pattern.stream");
   if (tp.root == nullptr) return std::vector<BindingRow>{};
   if (!tp.SingleOutputAtExtractionPoint() || !tp.UsesOnlyPatternAxes() ||
       tp.HasPositionalSteps()) {
@@ -309,6 +321,7 @@ Result<std::vector<BindingRow>> EvalPatternStream(
     }
     StreamEval eval(tp);
     eval.Run(it.node());
+    XQTP_RETURN_NOT_OK(eval.status());
     std::vector<const xml::Node*> nodes = eval.Finish();
     for (const xml::Node* n : nodes) {
       BindingRow row;

@@ -19,7 +19,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
@@ -77,6 +79,10 @@ NodeVec PruneCovered(const NodeVec& v) {
 NodeVec WindowIntoSubtrees(const NodeVec& stream, const NodeVec& roots) {
   NodeVec out;
   size_t pos = 0;
+  // The contiguous region scans are the twig join's hot loop; a tripped
+  // governor truncates them and EvalPatternTwig's final poll surfaces the
+  // latched verdict, discarding the partial sets.
+  GovernorTicker gov;
   for (const Node* r : PruneCovered(roots)) {
     CountIndexSkip();
     auto it = std::upper_bound(
@@ -84,6 +90,7 @@ NodeVec WindowIntoSubtrees(const NodeVec& stream, const NodeVec& roots) {
         [](int32_t pre, const Node* n) { return pre < n->pre; });
     pos = static_cast<size_t>(it - stream.begin());
     while (pos < stream.size() && stream[pos]->post < r->post) {
+      if (!gov.Tick()) return out;
       out.push_back(stream[pos]);
       ++pos;
       CountIndexEntries(1);
@@ -315,6 +322,7 @@ class TwigEval {
 
 Result<std::vector<BindingRow>> EvalPatternTwig(const TreePattern& tp,
                                                 const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("exec.pattern.twig");
   if (tp.root == nullptr) return std::vector<BindingRow>{};
   if (!tp.SingleOutputAtExtractionPoint() || !tp.UsesOnlyPatternAxes() ||
       tp.HasPositionalSteps()) {
@@ -352,6 +360,9 @@ Result<std::vector<BindingRow>> EvalPatternTwig(const TreePattern& tp,
   for (size_t i = 1; i < path.size() && !reach.empty(); ++i) {
     reach = SemijoinUpWithin(eval.SetOf(*path[i]), reach, path[i]->axis);
   }
+  // Surface a mid-merge trip (sticky in the governor) before the possibly
+  // truncated sets become a result.
+  XQTP_RETURN_NOT_OK(GovernorPoll());
 
   Symbol out = tp.OutputFields()[0];
   std::vector<BindingRow> rows;

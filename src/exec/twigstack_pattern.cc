@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
+#include "exec/governor.h"
 #include "exec/pattern_eval.h"
 #include "xdm/sequence_ops.h"
 #include "xml/document.h"
@@ -135,8 +137,12 @@ class TwigStack {
   }
 
   /// Runs the join; returns the extraction bindings in document order.
+  /// A tripped governor abandons the merge — the caller's poll surfaces
+  /// the latched verdict and the truncated result is discarded.
   NodeVec Run() {
+    GovernorTicker gov;
     for (;;) {
+      if (!gov.Tick()) return {};
       int q = GetNext(0);
       if (HeadPre(q) == kInfinity) break;
       const Node* v = Head(q);
@@ -391,6 +397,7 @@ NodeVec RootStream(const Document& doc, const PatternNode& root,
 
 Result<std::vector<BindingRow>> EvalPatternTwigStack(
     const TreePattern& tp, const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("exec.pattern.twigstack");
   if (tp.root == nullptr) return std::vector<BindingRow>{};
   if (!tp.SingleOutputAtExtractionPoint() || !tp.UsesOnlyPatternAxes() ||
       tp.HasPositionalSteps() || tp.StepCount() > 32) {
@@ -416,6 +423,7 @@ Result<std::vector<BindingRow>> EvalPatternTwigStack(
 
   TwigStack join(tp, doc, RootStream(doc, *tp.root, ctx));
   NodeVec result = join.Run();
+  XQTP_RETURN_NOT_OK(GovernorPoll());
 
   Symbol out = tp.OutputFields()[0];
   std::vector<BindingRow> rows;

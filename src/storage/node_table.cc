@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "exec/exec_stats.h"
+#include "exec/governor.h"
 #include "xdm/sequence_ops.h"
 
 namespace xqtp::storage {
@@ -142,10 +144,12 @@ class ShreddedEval {
     return false;
   }
 
-  /// One axis step over a sorted duplicate-free context row set.
+  /// One axis step over a sorted duplicate-free context row set. A
+  /// tripped governor truncates the scans; EvalPatternShredded's final
+  /// poll surfaces the latched verdict.
   std::vector<RowId> Step(std::vector<RowId> ctx, const PatternNode& q) {
     std::vector<RowId> out;
-    if (ctx.empty()) return out;
+    if (ctx.empty() || !gov_.Tick()) return out;
     const std::vector<RowId>& rows = RowsFor(q);
     switch (q.axis) {
       case Axis::kDescendant:
@@ -174,6 +178,7 @@ class ShreddedEval {
           size_t scan = static_cast<size_t>(it - rows.begin());
           while (scan < rows.size() && table_.post(rows[scan]) <
                                            table_.post(c)) {
+            if (!gov_.Tick()) return out;
             exec::CountIndexEntries(1);
             if (q.position == 0) {
               out.push_back(rows[scan]);
@@ -201,6 +206,7 @@ class ShreddedEval {
           for (size_t scan = static_cast<size_t>(it - rows.begin());
                scan < rows.size() && table_.post(rows[scan]) < table_.post(c);
                ++scan) {
+            if (!gov_.Tick()) return out;
             exec::CountIndexEntries(1);
             if (table_.parent(rows[scan]) != c) continue;
             if (q.position == 0) {
@@ -246,6 +252,7 @@ class ShreddedEval {
       std::vector<RowId> kept;
       kept.reserve(candidates.size());
       for (RowId r : candidates) {
+        if (!gov_.Tick()) break;
         bool ok = true;
         for (const PatternNodePtr& pred : q.predicates) {
           if (!Exists(r, *pred)) {
@@ -264,12 +271,14 @@ class ShreddedEval {
 
  private:
   const NodeTable& table_;
+  exec::GovernorTicker gov_;
 };
 
 }  // namespace
 
 Result<std::vector<exec::BindingRow>> EvalPatternShredded(
     const TreePattern& tp, const xdm::Sequence& context) {
+  XQTP_FAULT_POINT("storage.pattern.shredded");
   if (tp.root == nullptr) return std::vector<exec::BindingRow>{};
   if (!tp.SingleOutputAtExtractionPoint() || !tp.UsesOnlyPatternAxes()) {
     return exec::EvalPatternNL(tp, context);
@@ -293,6 +302,7 @@ Result<std::vector<exec::BindingRow>> EvalPatternShredded(
   ShreddedEval eval(table);
   std::vector<RowId> first = eval.Step(std::move(ctx), *tp.root);
   std::vector<RowId> result = eval.Matches(std::move(first), *tp.root);
+  XQTP_RETURN_NOT_OK(exec::GovernorPoll());
 
   Symbol out = tp.OutputFields()[0];
   std::vector<exec::BindingRow> rows;

@@ -3,9 +3,17 @@
 #include <cctype>
 #include <string>
 
+#include "common/fault_injection.h"
+
 namespace xqtp::xml {
 
 namespace {
+
+/// ParseElement / ParseContent recurse once per nesting level; a
+/// pathological document (one element per byte, all nested) must not
+/// overflow the C++ stack. 1000 levels is far beyond real XML and well
+/// inside the default 8 MiB stack.
+constexpr int kMaxElementDepth = 1000;
 
 /// Cursor over the input with line tracking for error messages.
 class Cursor {
@@ -236,6 +244,12 @@ class Parser {
   }
 
   Status ParseElement() {
+    XQTP_FAULT_POINT("xml.parse.element");
+    if (++depth_ > kMaxElementDepth) {
+      return Status::ResourceExhausted(
+          "XML element nesting depth " + std::to_string(depth_) +
+          " exceeds the limit of " + std::to_string(kMaxElementDepth));
+    }
     if (cur_.AtEnd() || cur_.Peek() != '<') return Err("expected '<'");
     cur_.Advance();
     XQTP_ASSIGN_OR_RETURN(std::string tag, ParseName());
@@ -246,6 +260,7 @@ class Parser {
       if (cur_.AtEnd() || cur_.Peek() != '>') return Err("expected '/>'");
       cur_.Advance();
       builder_.EndElement();
+      --depth_;
       return Status::OK();
     }
     cur_.Advance();  // '>'
@@ -261,11 +276,13 @@ class Parser {
     if (cur_.AtEnd() || cur_.Peek() != '>') return Err("expected '>'");
     cur_.Advance();
     builder_.EndElement();
+    --depth_;
     return Status::OK();
   }
 
   Cursor cur_;
   DocumentBuilder builder_;
+  int depth_ = 0;  ///< current element nesting depth (kMaxElementDepth cap)
 };
 
 }  // namespace

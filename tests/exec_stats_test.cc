@@ -57,6 +57,29 @@ TEST_F(ExecStatsTest, ScopesNestWithoutLeaking) {
   EXPECT_EQ(outer.stats().index_entries_scanned, 3);
 }
 
+TEST_F(ExecStatsTest, AddIsAdditiveExceptPeakMemoryWhichIsHighWater) {
+  // The morsel driver merges worker-scope counters with Add(): work
+  // counters and governor checks sum, but peak_memory_bytes tracks one
+  // shared accountant's high-water mark, so it merges by maximum.
+  ExecStats a;
+  a.nodes_visited = 10;
+  a.governor_checks = 4;
+  a.peak_memory_bytes = 1000;
+  ExecStats b;
+  b.nodes_visited = 5;
+  b.governor_checks = 3;
+  b.peak_memory_bytes = 700;
+  a.Add(b);
+  EXPECT_EQ(a.nodes_visited, 15);
+  EXPECT_EQ(a.governor_checks, 7);
+  EXPECT_EQ(a.peak_memory_bytes, 1000);  // max, not 1700
+  b.peak_memory_bytes = 2000;
+  a.Add(b);
+  EXPECT_EQ(a.peak_memory_bytes, 2000);
+  EXPECT_NE(a.ToString().find("governor_checks=10"), std::string::npos);
+  EXPECT_NE(a.ToString().find("peak_memory_bytes=2000"), std::string::npos);
+}
+
 TEST_F(ExecStatsTest, Section53WorkAsymmetry) {
   // The paper's explanation of the (/t1[1])^k result, in counters: the
   // nested-loop join touches a tiny part of the tree; the staircase join

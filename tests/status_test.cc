@@ -36,6 +36,12 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
        "TypeError: not a node"},
       {Status::Internal("broken plan"), StatusCode::kInternal,
        "Internal: broken plan"},
+      {Status::Cancelled("caller gave up"), StatusCode::kCancelled,
+       "Cancelled: caller gave up"},
+      {Status::DeadlineExceeded("10ms elapsed"),
+       StatusCode::kDeadlineExceeded, "DeadlineExceeded: 10ms elapsed"},
+      {Status::ResourceExhausted("budget blown"),
+       StatusCode::kResourceExhausted, "ResourceExhausted: budget blown"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.st.ok());
@@ -161,6 +167,41 @@ TEST(ResultTest, AssignOrReturnToExistingLvalue) {
     return v == 3 ? Status::OK() : Status::Internal("bad value");
   };
   EXPECT_TRUE(outer().ok());
+}
+
+// Macro hygiene: the temporary's name carries __COUNTER__, so two
+// expansions on ONE line (e.g. from another macro's expansion) must
+// compile — with the old __LINE__ scheme they collided.
+TEST(ResultTest, AssignOrReturnTwiceOnOneLine) {
+  auto inner = [](int x) -> Result<int> { return x; };
+  auto outer = [&]() -> Result<int> {
+    // clang-format off
+    XQTP_ASSIGN_OR_RETURN(int a, inner(1)); XQTP_ASSIGN_OR_RETURN(int b, inner(2));
+    // clang-format on
+    return a + b;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+}
+
+// Nested use inside an if body whose condition came from another
+// expansion must not shadow the outer temporary (this file compiles
+// under -Wshadow -Werror in the CI thread-safety leg).
+TEST(ResultTest, AssignOrReturnNestedInIfBody) {
+  auto inner = [](int x) -> Result<int> { return x; };
+  auto outer = [&]() -> Result<int> {
+    XQTP_ASSIGN_OR_RETURN(int a, inner(10));
+    if (a > 5) {
+      XQTP_ASSIGN_OR_RETURN(int b, inner(a));
+      XQTP_ASSIGN_OR_RETURN(int c, inner(b + 1));
+      return c;
+    }
+    return a;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 11);
 }
 
 }  // namespace

@@ -30,6 +30,11 @@ discipline:
   allow-reason      every lint:allow(<rule>) must carry a
                     `reason=<why>` — an unexplained escape hatch is
                     unreviewable.
+  fault-site-registered  every fault-injection site named in src/ (via
+                    XQTP_FAULT_POINT("...") or a direct fault::Poll("...")
+                    in void context) must appear in the sweep registry in
+                    tests/fault_injection_test.cc, so a new site cannot
+                    ship without the sweep forcing a failure through it.
 
 A finding prints as `path:line: [rule] message` and the process exits 1.
 A line may opt out with a trailing `lint:allow(<rule>, reason=<why>)`
@@ -301,6 +306,57 @@ def check_allow_reason(relpath, raw, code, findings):
                 "exempt>) so the escape hatch is reviewable"))
 
 
+# --------------------------------------------------------------------------
+# rule: fault-site-registered
+
+FAULT_REGISTRY_FILE = os.path.join("tests", "fault_injection_test.cc")
+
+# A fault-point use still visible after comment stripping (comments blank
+# the macro name, so documentation mentions don't count)...
+FAULT_POINT_CODE_RE = re.compile(
+    r"(?:XQTP_FAULT_POINT|(?:::xqtp::)?fault::Poll)\s*\(")
+# ... whose site argument is a string literal (read from the raw line,
+# because `code` blanks string contents). The macro's own definition
+# passes a bare parameter and is skipped by this second match.
+FAULT_POINT_RAW_RE = re.compile(
+    r'(?:XQTP_FAULT_POINT|(?:::xqtp::)?fault::Poll)\s*\(\s*"([^"]+)"')
+
+
+def load_fault_registry(root):
+    """All string literals in the sweep test — a superset of the site
+    registry, which is exactly what membership needs to check against."""
+    path = os.path.join(root, FAULT_REGISTRY_FILE)
+    try:
+        with open(path, encoding="utf-8") as f:
+            return set(re.findall(r'"([^"\n]+)"', f.read()))
+    except OSError:
+        return None
+
+
+def make_check_fault_site_registered(registry):
+    def check(relpath, raw, code, findings):
+        for lineno, line in enumerate(code, 1):
+            if not FAULT_POINT_CODE_RE.search(line):
+                continue
+            m = FAULT_POINT_RAW_RE.search(raw[lineno - 1])
+            if m is None:
+                continue  # macro definition / non-literal site argument
+            site = m.group(1)
+            if registry is not None and site in registry:
+                continue
+            if allowed(raw[lineno - 1], "fault-site-registered"):
+                continue
+            where = (f"{FAULT_REGISTRY_FILE} is missing"
+                     if registry is None else
+                     f"not in {FAULT_REGISTRY_FILE}")
+            findings.append(Finding(
+                relpath, lineno, "fault-site-registered",
+                f'fault site "{site}": {where} — every site must appear '
+                "in the sweep test's kRegistry so an injected failure is "
+                "forced through it"))
+    return check
+
+
 RULES = [check_raw_sync, check_no_stdout, check_nodiscard_status,
          check_include_guard, check_assert_side_effect, check_allow_reason]
 
@@ -310,6 +366,8 @@ RULES = [check_raw_sync, check_no_stdout, check_nodiscard_status,
 
 def lint_tree(root):
     findings = []
+    rules = RULES + [make_check_fault_site_registered(
+        load_fault_registry(root))]
     src = os.path.join(root, "src")
     for dirpath, _, files in os.walk(src):
         for name in sorted(files):
@@ -320,7 +378,7 @@ def lint_tree(root):
             with open(path, encoding="utf-8") as f:
                 raw = f.read().splitlines()
             code = strip_comments_and_strings(raw)
-            for rule in RULES:
+            for rule in rules:
                 rule(relpath, raw, code, findings)
     return findings
 
@@ -392,6 +450,29 @@ SELF_TEST_FIXTURES = [
     ("src/good/allow.cc",
      "void F() { weak.lock(); }"
      "  // lint:allow(raw-sync, reason=non-std weak_ptr-style lock API)\n",
+     set()),
+    # fault-site-registered: the fixture registry below knows one site.
+    ("tests/fault_injection_test.cc",
+     "// fixture sweep registry\n"
+     "constexpr SiteConfig kRegistry[] = {\n"
+     "    {\"exec.registered.site\", exec::PatternAlgo::kNLJoin, 1},\n"
+     "};\n",
+     set()),  # outside src/: never linted itself
+    ("src/bad/fault_unregistered.cc",
+     "#include \"common/fault_injection.h\"\n"
+     "Status F() {\n"
+     "  XQTP_FAULT_POINT(\"exec.unregistered.site\");\n"
+     "  return Status::OK();\n"
+     "}\n",
+     {"fault-site-registered"}),
+    ("src/good/fault_registered.cc",
+     "#include \"common/fault_injection.h\"\n"
+     "// A comment naming XQTP_FAULT_POINT(\"exec.unregistered.site\") is\n"
+     "// fine: only code counts.\n"
+     "Status F() {\n"
+     "  XQTP_FAULT_POINT(\"exec.registered.site\");\n"
+     "  return fault::Poll(\"exec.registered.site\");\n"
+     "}\n",
      set()),
 ]
 
