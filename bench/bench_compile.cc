@@ -1,0 +1,234 @@
+// Per-phase compile microbenchmark over the XMark query corpus: how long
+// each stage of the Figure 2 pipeline — parse, normalize, TPNF' rewrite,
+// algebra compile, optimize — takes per query, plus the whole pipeline
+// ("full"). These are the costs the plan cache (engine/plan_cache.h)
+// amortizes away on a warm hit; the per-phase rows make future compile
+// regressions visible in BENCH_smoke.json (variant = phase name).
+#include "bench_common.h"
+
+#include "workload/xmark_queries.h"
+
+namespace xqtp::bench {
+namespace {
+
+/// The corpus slice the smoke run times: structurally diverse queries,
+/// from a one-step path to nested FLWOR. (The full corpus would multiply
+/// smoke-bench wall time without adding phase-cost variety.)
+constexpr const char* kCorpusIds[] = {"XQ1", "XQ2", "XQ6", "XQ15", "XQ19"};
+
+std::vector<workload::XmarkQuery> CorpusSlice() {
+  std::vector<workload::XmarkQuery> out;
+  for (const workload::XmarkQuery& q : workload::XmarkQueryCorpus()) {
+    for (const char* id : kCorpusIds) {
+      if (q.id == id) out.push_back(q);
+    }
+  }
+  return out;
+}
+
+/// Emits one JSON trajectory row for a compile-phase timing (no execution,
+/// so algo is a placeholder and nodes_visited stays 0).
+void RecordPhase(const std::string& id, const std::string& phase, double ns) {
+  if (JsonPath().empty()) return;
+  JsonRecord r;
+  r.bench = BenchName();
+  r.query = id;
+  r.algo = "compile";
+  r.threads = 1;
+  r.variant = phase;
+  r.ns = ns;
+  for (JsonRecord& existing : JsonRecords()) {
+    if (existing.query == r.query && existing.variant == r.variant) {
+      existing = std::move(r);
+      return;
+    }
+  }
+  JsonRecords().push_back(std::move(r));
+}
+
+/// Runs `fn` once per iteration under manual wall-clock timing and records
+/// the mean. `fn` must consume-and-discard its result via DoNotOptimize.
+template <typename Fn>
+void TimePhase(benchmark::State& state, const std::string& id,
+               const std::string& phase, Fn&& fn) {
+  double total_ns = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    ++iters;
+  }
+  if (iters > 0) RecordPhase(id, phase, total_ns / static_cast<double>(iters));
+}
+
+// Each phase benchmark precomputes every earlier stage once, then times
+// only its own stage (plus the input clone it must make, for the phases
+// that consume their input — noted per phase). Verification is off: the
+// bench measures the production pipeline, not the debug oracles.
+
+void BenchParse(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine& e = SharedEngine();
+  TimePhase(state, q.id, "parse", [&] {
+    auto surface = xquery::ParseQuery(q.text, e.interner());
+    if (!surface.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(surface);
+  });
+}
+
+void BenchNormalize(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine& e = SharedEngine();
+  auto surface = xquery::ParseQuery(q.text, e.interner());
+  if (!surface.ok()) {
+    state.SkipWithError(surface.status().ToString().c_str());
+    return;
+  }
+  TimePhase(state, q.id, "normalize", [&] {
+    core::VarTable vars;
+    auto normalized = core::Normalize(**surface, &vars);
+    if (!normalized.ok()) state.SkipWithError("normalize failed");
+    benchmark::DoNotOptimize(normalized);
+  });
+}
+
+void BenchRewrite(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine& e = SharedEngine();
+  auto surface = xquery::ParseQuery(q.text, e.interner());
+  if (!surface.ok()) {
+    state.SkipWithError(surface.status().ToString().c_str());
+    return;
+  }
+  core::VarTable vars;
+  auto normalized = core::Normalize(**surface, &vars);
+  if (!normalized.ok()) {
+    state.SkipWithError(normalized.status().ToString().c_str());
+    return;
+  }
+  core::RewriteOptions ropts;
+  ropts.verify = false;
+  // Includes one Clone of the normalized tree per iteration — the rewrite
+  // consumes its input, exactly as in Engine::Compile.
+  TimePhase(state, q.id, "rewrite", [&] {
+    core::VarTable vars_copy = vars;
+    auto rewritten =
+        core::RewriteToTPNF(core::Clone(**normalized), &vars_copy, ropts);
+    if (!rewritten.ok()) state.SkipWithError("rewrite failed");
+    benchmark::DoNotOptimize(rewritten);
+  });
+}
+
+void BenchAlgebraCompile(benchmark::State& state,
+                         const workload::XmarkQuery& q) {
+  engine::Engine& e = SharedEngine();
+  auto surface = xquery::ParseQuery(q.text, e.interner());
+  if (!surface.ok()) {
+    state.SkipWithError(surface.status().ToString().c_str());
+    return;
+  }
+  core::VarTable vars;
+  auto normalized = core::Normalize(**surface, &vars);
+  if (!normalized.ok()) {
+    state.SkipWithError(normalized.status().ToString().c_str());
+    return;
+  }
+  core::RewriteOptions ropts;
+  ropts.verify = false;
+  auto rewritten =
+      core::RewriteToTPNF(core::Clone(**normalized), &vars, ropts);
+  if (!rewritten.ok()) {
+    state.SkipWithError(rewritten.status().ToString().c_str());
+    return;
+  }
+  TimePhase(state, q.id, "compile", [&] {
+    auto plan = algebra::Compile(**rewritten, vars, e.interner());
+    if (!plan.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(plan);
+  });
+}
+
+void BenchOptimize(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine& e = SharedEngine();
+  auto surface = xquery::ParseQuery(q.text, e.interner());
+  if (!surface.ok()) {
+    state.SkipWithError(surface.status().ToString().c_str());
+    return;
+  }
+  core::VarTable vars;
+  auto normalized = core::Normalize(**surface, &vars);
+  if (!normalized.ok()) {
+    state.SkipWithError(normalized.status().ToString().c_str());
+    return;
+  }
+  core::RewriteOptions ropts;
+  ropts.verify = false;
+  auto rewritten =
+      core::RewriteToTPNF(core::Clone(**normalized), &vars, ropts);
+  if (!rewritten.ok()) {
+    state.SkipWithError(rewritten.status().ToString().c_str());
+    return;
+  }
+  auto plan = algebra::Compile(**rewritten, vars, e.interner());
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  algebra::OptimizeOptions oopts;
+  oopts.verify = false;
+  oopts.vars = &vars;
+  // Includes one plan Clone per iteration — Optimize rewrites in place.
+  TimePhase(state, q.id, "optimize", [&] {
+    algebra::OpPtr work = algebra::Clone(**plan);
+    auto st = algebra::Optimize(&work, e.interner(), oopts);
+    if (!st.ok()) state.SkipWithError("optimize failed");
+    benchmark::DoNotOptimize(work);
+  });
+}
+
+void BenchFullPipeline(benchmark::State& state,
+                       const workload::XmarkQuery& q) {
+  engine::EngineOptions eopts;
+  eopts.verify_plans = false;
+  eopts.analysis.check_equivalence = false;
+  engine::Engine e(eopts);
+  TimePhase(state, q.id, "full", [&] {
+    auto cq = e.Compile(q.text);
+    if (!cq.ok()) state.SkipWithError("full compile failed");
+    benchmark::DoNotOptimize(cq);
+  });
+}
+
+void Register() {
+  using PhaseFn = void (*)(benchmark::State&, const workload::XmarkQuery&);
+  struct Phase {
+    const char* name;
+    PhaseFn fn;
+  };
+  constexpr Phase kPhases[] = {
+      {"parse", &BenchParse},           {"normalize", &BenchNormalize},
+      {"rewrite", &BenchRewrite},       {"compile", &BenchAlgebraCompile},
+      {"optimize", &BenchOptimize},     {"full", &BenchFullPipeline},
+  };
+  static const std::vector<workload::XmarkQuery>* corpus =
+      new std::vector<workload::XmarkQuery>(CorpusSlice());
+  for (const workload::XmarkQuery& q : *corpus) {
+    for (const Phase& phase : kPhases) {
+      std::string name =
+          std::string("Compile/") + q.id + "/" + phase.name;
+      const workload::XmarkQuery* query = &q;
+      PhaseFn fn = phase.fn;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query, fn](benchmark::State& state) { fn(state, *query); })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  xqtp::bench::Register();
+  return xqtp::bench::BenchMain(argc, argv);
+}

@@ -5,6 +5,13 @@
 // whole tree — so the driver wins even before it wins from parallelism,
 // and scales further with cores. Run with --json=<path> to drop the perf
 // trajectory records (ci/check.sh does this for BENCH_smoke.json).
+//
+// Thread counts here are *requested* counts; the driver clamps the
+// effective width to the available morsel supply (exec::
+// ClampParallelThreads), so on this 0.5-factor document t=4 and t=8 run
+// at the clamped width instead of paying pool-spawn cost for threads
+// that would starve — the t>=4 rows must not regress above the t=2 row
+// (tests/parallel_eval_test.cc pins the clamp arithmetic).
 #include "bench_common.h"
 
 namespace xqtp::bench {

@@ -1,0 +1,237 @@
+// Plan-cache latency trajectory (engine/plan_cache.h): what a compile
+// costs when the cache cannot help ("cold": the cache is cleared before
+// every request), what a warm hit costs ("warm": every request after the
+// first is a fingerprint lookup), and how warm hits behave under
+// contention ("concurrent-warm": 8 threads hammer the same entry; the
+// record's ns is per-request across all threads). The serve-* variants
+// measure the end-to-end ExecuteQuery path — compile-or-lookup plus
+// execution against an XMark document — which is what an embedding
+// application actually pays per request.
+//
+// The acceptance bar tracked in BENCH_smoke.json: warm must be >= 10x
+// faster than cold for every corpus query (tools/bench_smoke.py surfaces
+// the ratio; the cold row is the denominator).
+//
+// Each benchmark builds its own Engine (never SharedEngine) so cache
+// state is owned by the benchmark: cold really refills, warm really hits.
+#include "bench_common.h"
+
+#include <thread>
+
+#include "workload/xmark_queries.h"
+
+namespace xqtp::bench {
+namespace {
+
+constexpr int kConcurrentThreads = 8;
+/// Hits each thread performs per timed iteration; amortizes the
+/// thread-spawn cost out of the per-request figure.
+constexpr int kHitsPerThread = 64;
+
+/// Compile-only corpus slice (mirrors bench_compile so cold rows here
+/// line up with the per-phase rows there).
+constexpr const char* kCorpusIds[] = {"XQ1", "XQ6", "XQ15"};
+
+std::vector<workload::XmarkQuery> CorpusSlice() {
+  std::vector<workload::XmarkQuery> out;
+  for (const workload::XmarkQuery& q : workload::XmarkQueryCorpus()) {
+    for (const char* id : kCorpusIds) {
+      if (q.id == id) out.push_back(q);
+    }
+  }
+  return out;
+}
+
+/// Serving configuration: oracles off, as in a Release embedding. The
+/// debug verifiers would dominate the cold numbers and hide the cache win.
+engine::EngineOptions ServingOptions() {
+  engine::EngineOptions opts;
+  opts.verify_plans = false;
+  opts.analysis.check_equivalence = false;
+  return opts;
+}
+
+void RecordRow(const std::string& id, const std::string& variant, int threads,
+               double ns) {
+  if (JsonPath().empty()) return;
+  JsonRecord r;
+  r.bench = BenchName();
+  r.query = id;
+  r.algo = "cache";
+  r.threads = threads;
+  r.variant = variant;
+  r.ns = ns;
+  for (JsonRecord& existing : JsonRecords()) {
+    if (existing.query == r.query && existing.variant == r.variant &&
+        existing.threads == r.threads) {
+      existing = std::move(r);
+      return;
+    }
+  }
+  JsonRecords().push_back(std::move(r));
+}
+
+/// Cold: every request recompiles — the cache is emptied first, so
+/// CompileCached takes the miss + single-flight fill path each time.
+void BenchCold(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine e(ServingOptions());
+  double total_ns = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    e.ClearPlanCache();
+    auto t0 = std::chrono::steady_clock::now();
+    auto plan = e.CompileCached(q.text);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(plan);
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    ++iters;
+  }
+  if (iters > 0) {
+    RecordRow(q.id, "cold", 1, total_ns / static_cast<double>(iters));
+  }
+}
+
+/// Warm: the entry is pre-filled; every timed request is a hit.
+void BenchWarm(benchmark::State& state, const workload::XmarkQuery& q) {
+  engine::Engine e(ServingOptions());
+  auto fill = e.CompileCached(q.text);
+  if (!fill.ok()) {
+    state.SkipWithError(fill.status().ToString().c_str());
+    return;
+  }
+  double total_ns = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto plan = e.CompileCached(q.text);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(plan);
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    ++iters;
+  }
+  if (iters > 0) {
+    RecordRow(q.id, "warm", 1, total_ns / static_cast<double>(iters));
+  }
+}
+
+/// Concurrent warm: kConcurrentThreads threads each perform
+/// kHitsPerThread hits per timed iteration. Reported ns is per-request
+/// (wall time / total requests) — under a scalable shard design it should
+/// stay in the same decade as the single-threaded warm figure.
+void BenchConcurrentWarm(benchmark::State& state,
+                         const workload::XmarkQuery& q) {
+  engine::Engine e(ServingOptions());
+  auto fill = e.CompileCached(q.text);
+  if (!fill.ok()) {
+    state.SkipWithError(fill.status().ToString().c_str());
+    return;
+  }
+  double total_ns = 0;
+  int64_t requests = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kConcurrentThreads);
+    for (int t = 0; t < kConcurrentThreads; ++t) {
+      threads.emplace_back([&e, &q] {
+        for (int i = 0; i < kHitsPerThread; ++i) {
+          auto plan = e.CompileCached(q.text);
+          benchmark::DoNotOptimize(plan);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    auto t1 = std::chrono::steady_clock::now();
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    requests += kConcurrentThreads * kHitsPerThread;
+  }
+  if (requests > 0) {
+    RecordRow(q.id, "concurrent-warm", kConcurrentThreads,
+              total_ns / static_cast<double>(requests));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving: ExecuteQuery = CompileCached + Execute against a
+// small XMark instance. serve-cold clears the cache each request (every
+// request pays the full compile); serve-warm is the steady state.
+
+constexpr const char* kServeQuery = "$input//item//location";
+
+void BenchServe(benchmark::State& state, bool warm) {
+  engine::Engine e(ServingOptions());
+  const xml::Document* doc =
+      e.AddDocument("xmark_cache",
+                    workload::GenerateXmark({.factor = 0.1}, e.interner()));
+  engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc->root())}}};
+  if (warm) {
+    auto fill = e.CompileCached(kServeQuery);
+    if (!fill.ok()) {
+      state.SkipWithError(fill.status().ToString().c_str());
+      return;
+    }
+  }
+  double total_ns = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    if (!warm) e.ClearPlanCache();
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = e.ExecuteQuery(kServeQuery, globals);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(res);
+    total_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    ++iters;
+  }
+  if (iters > 0) {
+    RecordRow(kServeQuery, warm ? "serve-warm" : "serve-cold", 1,
+              total_ns / static_cast<double>(iters));
+  }
+}
+
+void Register() {
+  static const std::vector<workload::XmarkQuery>* corpus =
+      new std::vector<workload::XmarkQuery>(CorpusSlice());
+  for (const workload::XmarkQuery& q : *corpus) {
+    const workload::XmarkQuery* query = &q;
+    benchmark::RegisterBenchmark(
+        (std::string("PlanCache/") + q.id + "/cold").c_str(),
+        [query](benchmark::State& s) { BenchCold(s, *query); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("PlanCache/") + q.id + "/warm").c_str(),
+        [query](benchmark::State& s) { BenchWarm(s, *query); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("PlanCache/") + q.id + "/concurrent-warm").c_str(),
+        [query](benchmark::State& s) { BenchConcurrentWarm(s, *query); })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::RegisterBenchmark(
+      "PlanCache/serve/cold",
+      [](benchmark::State& s) { BenchServe(s, /*warm=*/false); })
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      "PlanCache/serve/warm",
+      [](benchmark::State& s) { BenchServe(s, /*warm=*/true); })
+      ->Unit(benchmark::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  xqtp::bench::Register();
+  return xqtp::bench::BenchMain(argc, argv);
+}

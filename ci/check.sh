@@ -11,7 +11,9 @@
 #     execution of every rewrite checkpoint) with the sanitizers watching
 #     the checkers themselves.
 #  3. Release + TSan — the morsel-parallel driver's threading tests
-#     (parallel_eval_test, concurrency_test) under ThreadSanitizer:
+#     (parallel_eval_test, concurrency_test) and the plan-cache
+#     concurrency suite (plan_cache_test: the single-flight stampede and
+#     hit/miss/erase/clear hammer) under ThreadSanitizer:
 #     per-query thread pools, the shared-mutex lazy-index path, and two
 #     parallel queries running concurrently. The leg also forces
 #     -DXQTP_FAULT_INJECTION=ON (fault points are otherwise compiled out
@@ -35,18 +37,19 @@
 #  - a bounded Release run of tools/equiv_fuzz (fixed seed) whose summary
 #    line is part of the gate's output — the deep seed-matrix sweep under
 #    sanitizers lives in ci/fuzz.sh;
-#  - a bounded smoke run of bench_parallel, bench_plan_props and
-#    bench_governor whose perf-trajectory records (--json) are merged by
-#    tools/bench_smoke.py into BENCH_smoke.json at the repo root, with a
-#    WARN-ONLY per-record timing delta against the committed baseline
-#    printed to the log.
+#  - a bounded smoke run of bench_parallel, bench_plan_props,
+#    bench_governor, bench_compile and bench_plan_cache whose
+#    perf-trajectory records (--json) are merged by tools/bench_smoke.py
+#    into BENCH_smoke.json at the repo root, with a WARN-ONLY per-record
+#    timing delta against the committed baseline printed to the log.
 #
-# The debug-sanitize test phase is split by ctest label: `-L analysis`
-# (verifiers, property inference, translation validation) runs first and
-# fails fast — when an optimizer change breaks a proof, the analysis
-# tests name the broken invariant directly while the exec tests only show
-# a wrong query result. A per-leg wall-clock summary is printed at the
-# end of the gate.
+# The debug-sanitize test phase is split by ctest label:
+# `-L "analysis|plan_cache"` (verifiers, property inference, translation
+# validation, plus the plan-cache serving path) runs first and fails fast
+# — when an optimizer change breaks a proof the analysis tests name the
+# broken invariant directly, and a broken serving path stops the build
+# before the exec tests obscure it with wrong query results. A per-leg
+# wall-clock summary is printed at the end of the gate.
 #
 # Every leg owns its build directory (build-ci-release, build-ci-tsa,
 # build-ci-sanitize, build-ci-tsan; ci/fuzz.sh uses build-ci-fuzz) so one
@@ -94,12 +97,16 @@ run_config() {
   fi
   rm -f "$log"
   if [[ "$test_mode" == "labeled" ]]; then
-    # Analysis tests first, fail-fast: a broken optimizer proof shows up
-    # here by invariant name, not as a wrong result downstream.
-    echo "==== [$name] test (-L analysis, fail fast) ===="
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L analysis
-    echo "==== [$name] test (-LE analysis, remainder) ===="
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE analysis
+    # Analysis + plan-cache tests first, fail-fast: a broken optimizer
+    # proof shows up here by invariant name (not as a wrong result
+    # downstream), and a broken plan-cache serving path stops the build
+    # before everything routed through CompileCached fails confusingly.
+    echo "==== [$name] test (-L 'analysis|plan_cache', fail fast) ===="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -L "analysis|plan_cache"
+    echo "==== [$name] test (remainder) ===="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+      -LE "analysis|plan_cache"
   else
     echo "==== [$name] test ===="
     ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
@@ -168,6 +175,10 @@ build-ci-release/bench/bench_plan_props \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/plan_props.json"
 build-ci-release/bench/bench_governor \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/governor.json"
+build-ci-release/bench/bench_compile \
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/compile.json"
+build-ci-release/bench/bench_plan_cache \
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/plan_cache.json"
 if git show HEAD:BENCH_smoke.json > "$SMOKE_TMP/baseline.json" 2>/dev/null
 then
   BASELINE=(--baseline "$SMOKE_TMP/baseline.json")
@@ -176,7 +187,8 @@ else
 fi
 python3 tools/bench_smoke.py --out BENCH_smoke.json "${BASELINE[@]}" \
   "$SMOKE_TMP/parallel.json" "$SMOKE_TMP/plan_props.json" \
-  "$SMOKE_TMP/governor.json"
+  "$SMOKE_TMP/governor.json" "$SMOKE_TMP/compile.json" \
+  "$SMOKE_TMP/plan_cache.json"
 python3 -c "import json; json.load(open('BENCH_smoke.json'))" \
   && echo "BENCH_smoke.json: valid JSON"
 leg_done bench-smoke
@@ -196,10 +208,10 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Release \
 echo "==== [tsan] build ===="
 cmake --build build-ci-tsan -j "$JOBS" \
   --target parallel_eval_test concurrency_test \
-  governor_test fault_injection_test
+  governor_test fault_injection_test plan_cache_test
 echo "==== [tsan] test ===="
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R '^(parallel_eval_test|concurrency_test|governor_test|fault_injection_test)$'
+  -R '^(parallel_eval_test|concurrency_test|governor_test|fault_injection_test|plan_cache_test)$'
 leg_done tsan
 
 echo "==== leg wall-clock summary ===="

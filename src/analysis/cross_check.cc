@@ -89,7 +89,7 @@ const exec::ParallelContext& OracleParallelContext() {
   static exec::ThreadPool* pool = new exec::ThreadPool(2);
   static const exec::ParallelContext par = [] {
     exec::ParallelContext p;
-    p.pool = [] { return pool; };
+    p.pool = [](int) { return pool; };
     p.threads = 2;
     p.min_fanout = 2;
     p.morsels_per_thread = 2;

@@ -1,6 +1,7 @@
 #include "analysis/verify_scope.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 namespace xqtp::analysis {
@@ -12,10 +13,17 @@ namespace {
 thread_local std::vector<const char*> g_scope_stack;
 thread_local std::vector<const char*> g_fired;
 
+std::atomic<int64_t> g_activations{0};
+
 }  // namespace
 
 VerifyScope::VerifyScope(const char* rule) : rule_(rule) {
   g_scope_stack.push_back(rule_);
+  g_activations.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t VerifyScope::ActivationCountForTesting() {
+  return g_activations.load(std::memory_order_relaxed);
 }
 
 VerifyScope::~VerifyScope() { g_scope_stack.pop_back(); }

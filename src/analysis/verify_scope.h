@@ -52,6 +52,12 @@ class VerifyScope {
   /// "<msg> [in <rule>] [after: <rule>, <rule>]".
   [[nodiscard]] static Status Tag(Status s);
 
+  /// Process-wide count of VerifyScope activations (every checkpoint a
+  /// compilation opens). Monotonic, thread-safe. Lets tests assert the
+  /// verify-at-fill contract of the plan cache: a cache hit opens no
+  /// verification scope, so N warm hits leave this counter unchanged.
+  static int64_t ActivationCountForTesting();
+
  private:
   const char* rule_;
 };

@@ -1,0 +1,105 @@
+#include "common/fingerprint.h"
+
+#include <cctype>
+
+namespace xqtp {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Conservative superset of the lexer's name/number characters: if two of
+/// these touch, removing the whitespace between them would fuse tokens
+/// ("a - b" is arithmetic, "a-b" is one name), so the canonicalizer keeps
+/// one separating space there and nowhere else.
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':' || c == '$';
+}
+
+}  // namespace
+
+uint64_t HashBytes(std::string_view bytes, uint64_t h) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= value & 0xff;
+    h *= kFnvPrime;
+    value >>= 8;
+  }
+  return h;
+}
+
+std::string CanonicalizeQuery(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  bool pending_ws = false;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    // Nestable XQuery comment — a separator, like whitespace.
+    if (c == '(' && i + 1 < n && query[i + 1] == ':') {
+      int depth = 1;
+      i += 2;
+      while (i < n && depth > 0) {
+        if (query[i] == '(' && i + 1 < n && query[i + 1] == ':') {
+          ++depth;
+          i += 2;
+        } else if (query[i] == ':' && i + 1 < n && query[i + 1] == ')') {
+          --depth;
+          i += 2;
+        } else {
+          ++i;
+        }
+      }
+      pending_ws = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_ws = true;
+      ++i;
+      continue;
+    }
+    if (pending_ws) {
+      if (!out.empty() && IsNameChar(out.back()) && IsNameChar(c)) {
+        out += ' ';
+      }
+      pending_ws = false;
+    }
+    if (c == '"' || c == '\'') {
+      // String literal: verbatim through the matching quote (the lexer
+      // has no escapes in this fragment).
+      const char quote = c;
+      out += c;
+      ++i;
+      while (i < n && query[i] != quote) out += query[i++];
+      if (i < n) {
+        out += quote;
+        ++i;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+std::string FingerprintHex(uint64_t fp) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[fp & 0xf];
+    fp >>= 4;
+  }
+  return out;
+}
+
+}  // namespace xqtp

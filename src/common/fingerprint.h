@@ -1,0 +1,47 @@
+// Canonical query fingerprinting for the compiled-plan cache
+// (engine/plan_cache.h): a 64-bit FNV-1a-based hash over the query text
+// with whitespace and XQuery comments normalized away, so the millions of
+// textual variants a client fleet produces ("$input//item", "$input //
+// item", "(: v2 :) $input//item") all land on one cache entry.
+//
+// Canonicalization mirrors the lexer's token separation rules
+// (xquery/lexer.cc) without building tokens:
+//  - (: ... :) comments (nestable) are dropped entirely;
+//  - whitespace runs collapse to nothing, except that a single ' ' is
+//    kept between two characters that would otherwise fuse into one
+//    name/number token ("for $x" stays "for $x", but "$input // item"
+//    becomes "$input//item");
+//  - string literals are copied verbatim, whitespace and all — "a  b"
+//    and "a b" are different strings.
+// Malformed input (unterminated comment or string) canonicalizes
+// best-effort; the later parse fails and errors are never cached, so a
+// canonicalization collision between two *invalid* queries is harmless.
+#ifndef XQTP_COMMON_FINGERPRINT_H_
+#define XQTP_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqtp {
+
+inline constexpr uint64_t kFingerprintSeed = 1469598103934665603ull;
+
+/// FNV-1a over `bytes`, continuing from `h` (chain calls to hash a
+/// composite key incrementally).
+uint64_t HashBytes(std::string_view bytes, uint64_t h = kFingerprintSeed);
+
+/// Folds a 64-bit value into the hash, byte by byte (used for option
+/// bits and integer knobs of a fingerprint).
+uint64_t HashCombine(uint64_t h, uint64_t value);
+
+/// The canonical form described above. Deterministic; never fails.
+std::string CanonicalizeQuery(std::string_view query);
+
+/// Renders a fingerprint the way Explain and the cache stats print it:
+/// 16 lowercase hex digits.
+std::string FingerprintHex(uint64_t fp);
+
+}  // namespace xqtp
+
+#endif  // XQTP_COMMON_FINGERPRINT_H_

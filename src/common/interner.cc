@@ -5,10 +5,10 @@
 namespace xqtp {
 
 Symbol StringInterner::Intern(std::string_view name) {
-  assert(!frozen() &&
+  assert(!FrozenOnThisThread() &&
          "StringInterner::Intern called during execution (an "
-         "ExecutionFreeze is active) — all names must be interned during "
-         "parse/compile/document build");
+         "ExecutionFreeze is active on this thread) — all names must be "
+         "interned during parse/compile/document build");
   MutexLock lock(&mu_);
   auto it = map_.find(std::string(name));
   if (it != map_.end()) return it->second;

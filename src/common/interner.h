@@ -37,19 +37,25 @@ class StringInterner {
   StringInterner(const StringInterner&) = delete;
   StringInterner& operator=(const StringInterner&) = delete;
 
-  /// RAII scope asserting "no interning while executing": while any
-  /// ExecutionFreeze is alive, Intern() debug-asserts. Engine::Execute
-  /// holds one around plan evaluation, so a code path that tries to
-  /// create a symbol mid-query fails fast in debug builds instead of
-  /// serializing the morsel workers on the table lock.
+  /// RAII scope asserting "no interning while executing": while an
+  /// ExecutionFreeze is alive *on this thread*, Intern() debug-asserts.
+  /// Engine::Execute holds one around plan evaluation (and the morsel
+  /// drivers re-establish it on each worker thread), so a code path that
+  /// tries to create a symbol mid-query fails fast in debug builds
+  /// instead of serializing the morsel workers on the table lock. The
+  /// assert is per-thread rather than engine-wide so a plan-cache miss
+  /// compiling on one serving thread does not trip it while another
+  /// thread executes.
   class ExecutionFreeze {
    public:
     explicit ExecutionFreeze(const StringInterner& interner)
         : interner_(interner) {
       interner_.freeze_count_.fetch_add(1, std::memory_order_relaxed);
+      ++ThreadFreezeCount();
     }
     ~ExecutionFreeze() {
       interner_.freeze_count_.fetch_sub(1, std::memory_order_relaxed);
+      --ThreadFreezeCount();
     }
     ExecutionFreeze(const ExecutionFreeze&) = delete;
     ExecutionFreeze& operator=(const ExecutionFreeze&) = delete;
@@ -71,12 +77,21 @@ class StringInterner {
 
   size_t size() const EXCLUDES(mu_);
 
-  /// True while any ExecutionFreeze is alive (exposed for tests).
+  /// True while any ExecutionFreeze is alive on any thread (exposed for
+  /// tests; the Intern assert uses the per-thread count instead).
   bool frozen() const {
     return freeze_count_.load(std::memory_order_relaxed) > 0;
   }
 
+  /// True while an ExecutionFreeze is alive on the calling thread.
+  static bool FrozenOnThisThread() { return ThreadFreezeCount() > 0; }
+
  private:
+  static int& ThreadFreezeCount() {
+    static thread_local int count = 0;
+    return count;
+  }
+
   mutable Mutex mu_;
   std::unordered_map<std::string, Symbol> map_ GUARDED_BY(mu_);
   std::deque<std::string> names_ GUARDED_BY(mu_);

@@ -2,6 +2,7 @@
 
 #include "algebra/printer.h"
 #include "common/fault_injection.h"
+#include "common/fingerprint.h"
 #include "analysis/core_verifier.h"
 #include "analysis/plan_lint.h"
 #include "analysis/plan_verifier.h"
@@ -9,6 +10,80 @@
 #include "core/printer.h"
 
 namespace xqtp::engine {
+
+namespace {
+
+// ---- CompiledQuery::MemoryUsage estimation ---------------------------------
+// sizeof-based traversal of the retained forms, in the same approximate
+// spirit as the governor's intermediate accounting: the LRU needs charges
+// proportional to plan size, not an allocator audit.
+
+int64_t BytesOf(const pattern::PatternNode& p) {
+  int64_t bytes = static_cast<int64_t>(sizeof(pattern::PatternNode));
+  bytes += static_cast<int64_t>(p.predicates.capacity() *
+                                sizeof(pattern::PatternNodePtr));
+  for (const pattern::PatternNodePtr& pred : p.predicates) {
+    bytes += BytesOf(*pred);
+  }
+  if (p.next != nullptr) bytes += BytesOf(*p.next);
+  return bytes;
+}
+
+int64_t BytesOf(const core::CoreExpr& e) {
+  int64_t bytes = static_cast<int64_t>(sizeof(core::CoreExpr));
+  bytes += static_cast<int64_t>(e.children.capacity() *
+                                sizeof(core::CoreExprPtr));
+  for (const core::CoreExprPtr& c : e.children) bytes += BytesOf(*c);
+  if (e.where != nullptr) bytes += BytesOf(*e.where);
+  return bytes;
+}
+
+int64_t BytesOf(const algebra::Op& op) {
+  int64_t bytes = static_cast<int64_t>(sizeof(algebra::Op));
+  bytes += static_cast<int64_t>(op.inputs.capacity() * sizeof(algebra::OpPtr));
+  for (const algebra::OpPtr& in : op.inputs) bytes += BytesOf(*in);
+  if (op.dep != nullptr) bytes += BytesOf(*op.dep);
+  if (op.dep2 != nullptr) bytes += BytesOf(*op.dep2);
+  if (op.tp.root != nullptr) bytes += BytesOf(*op.tp.root);
+  return bytes;
+}
+
+int64_t EstimateMemoryUsage(const CompiledQuery& q) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CompiledQuery));
+  bytes += static_cast<int64_t>(q.source().capacity());
+  // Per-variable bookkeeping (name string + table slots), flat estimate.
+  bytes += static_cast<int64_t>(q.vars().size()) * 64;
+  bytes += BytesOf(q.normalized());
+  bytes += BytesOf(q.rewritten());
+  bytes += BytesOf(q.plan());
+  bytes += BytesOf(q.optimized());
+  for (const analysis::LintFinding& f : q.lint_findings()) {
+    bytes += static_cast<int64_t>(sizeof(f) + f.rule.capacity() +
+                                  f.detail.capacity());
+  }
+  return bytes;
+}
+
+/// Option bits that shape the compiled plan, packed for HashCombine.
+uint64_t PlanShapeBits(const CompileOptions& opts) {
+  uint64_t bits = 0;
+  auto set = [&bits](bool on, int bit) {
+    if (on) bits |= uint64_t{1} << bit;
+  };
+  set(opts.rewrite, 0);
+  set(opts.detect_tree_patterns, 1);
+  set(opts.positional_patterns, 2);
+  set(opts.multi_output_patterns, 3);
+  set(opts.infer_properties, 4);
+  set(opts.rewrite_opts.typeswitch_rules, 5);
+  set(opts.rewrite_opts.flwor_rules, 6);
+  set(opts.rewrite_opts.ddo_removal, 7);
+  set(opts.rewrite_opts.loop_split, 8);
+  set(opts.rewrite_opts.unsound_ddo_strip_for_testing, 9);
+  return bits;
+}
+
+}  // namespace
 
 Result<const xml::Document*> Engine::LoadDocument(const std::string& name,
                                                   std::string_view xml_text) {
@@ -118,7 +193,60 @@ Result<CompiledQuery> Engine::Compile(std::string_view query,
     lopts.interner = &interner_;
     q.lint_findings_ = analysis::LintPlan(*q.optimized_, lopts);
   }
+  // Final build-path stamps; the query is immutable from here on
+  // (lint.py rule compiled-query-immutable).
+  q.fingerprint_ = Fingerprint(query, opts);
+  q.memory_bytes_ = EstimateMemoryUsage(q);
   return q;
+}
+
+uint64_t Engine::Fingerprint(std::string_view query,
+                             const CompileOptions& opts) const {
+  uint64_t h = HashBytes(CanonicalizeQuery(query));
+  h = HashCombine(h, PlanShapeBits(opts));
+  h = HashCombine(h, static_cast<uint64_t>(opts.rewrite_opts.max_rounds));
+  return h;
+}
+
+Result<PlanCache::PlanPtr> Engine::CompileForCache(const std::string& query,
+                                                   const CompileOptions& opts) {
+  XQTP_ASSIGN_OR_RETURN(CompiledQuery q, Compile(query, opts));
+  return PlanCache::PlanPtr(
+      std::make_shared<const CompiledQuery>(std::move(q)));
+}
+
+Result<std::shared_ptr<const CompiledQuery>> Engine::CompileCached(
+    std::string_view query, const CompileOptions& opts) {
+  const uint64_t key = Fingerprint(query, opts);
+  const std::string text(query);
+  return plan_cache_.GetOrCompile(key, [&]() -> Result<PlanCache::PlanPtr> {
+    if (options_.analysis.check_equivalence) {
+      // The oracle (and its lazy creation) is single-threaded; serialize
+      // whole fills while it participates in compilation.
+      MutexLock lock(&compile_mu_);
+      return CompileForCache(text, opts);
+    }
+    return CompileForCache(text, opts);
+  });
+}
+
+Result<xdm::Sequence> Engine::ExecuteQuery(std::string_view query,
+                                           const GlobalMap& globals,
+                                           const exec::EvalOptions& eval_opts,
+                                           const CompileOptions& opts) {
+  XQTP_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledQuery> q,
+                        CompileCached(query, opts));
+  return Execute(*q, globals, eval_opts);
+}
+
+bool Engine::ErasePlan(std::string_view query, const CompileOptions& opts) {
+  return plan_cache_.Erase(Fingerprint(query, opts));
+}
+
+void Engine::SetOptions(const EngineOptions& options) {
+  options_ = options;
+  equiv_.reset();  // rebuilt lazily under the new analysis options
+  plan_cache_.BumpGeneration();
 }
 
 std::vector<std::string> CompiledQuery::GlobalNames() const {
@@ -198,6 +326,16 @@ std::string Engine::Explain(const CompiledQuery& q) const {
     for (const analysis::LintFinding& f : q.lint_findings()) {
       out += f.rule + ": " + f.detail + "\n";
     }
+  }
+  out += "\n== plan cache ==\n";
+  out += "fingerprint: " + FingerprintHex(q.fingerprint()) + "\n";
+  PlanCachePeek peek = plan_cache_.Peek(q.fingerprint());
+  if (peek.present) {
+    out += "disposition: cached (" + std::to_string(peek.hits) + " hit" +
+           (peek.hits == 1 ? "" : "s") + ", " + std::to_string(peek.bytes) +
+           " bytes)\n";
+  } else {
+    out += "disposition: not cached\n";
   }
   return out;
 }

@@ -10,6 +10,11 @@
 //       {"input", {xdm::Item(doc.value()->root())}}};
 //   auto result = engine.Execute(*q, globals,
 //                                xqtp::exec::PatternAlgo::kTwig); // Result
+//
+// Serving hot path (compiles through the sharded plan cache; repeated
+// queries skip the whole pipeline — see engine/plan_cache.h):
+//   auto served = engine.ExecuteQuery("$input//person/name", globals);
+//   auto stats = engine.plan_cache_stats();  // hits / misses / bytes ...
 #ifndef XQTP_ENGINE_ENGINE_H_
 #define XQTP_ENGINE_ENGINE_H_
 
@@ -24,8 +29,10 @@
 #include "analysis/equiv_checker.h"
 #include "analysis/plan_lint.h"
 #include "common/status.h"
+#include "common/mutex.h"
 #include "core/normalize.h"
 #include "core/rewrite.h"
+#include "engine/plan_cache.h"
 #include "exec/core_interp.h"
 #include "exec/evaluator.h"
 #include "xml/document.h"
@@ -50,6 +57,10 @@ struct EngineOptions {
   /// minimized witness document, and both printed forms. On by default
   /// in Debug builds, like the verifiers.
   analysis::AnalysisOptions analysis;
+  /// Compiled-plan cache sizing (engine/plan_cache.h). The capacity is
+  /// fixed at engine construction; SetOptions does not resize the cache
+  /// (it only invalidates entries compiled under the old options).
+  PlanCacheConfig plan_cache;
 };
 
 struct CompileOptions {
@@ -86,6 +97,13 @@ struct CompileOptions {
 
 /// A query compiled through every phase, with the intermediate forms
 /// retained for explain output and tests.
+///
+/// IMMUTABLE AFTER BUILD: Engine::Compile populates every field and
+/// nothing mutates one afterwards, so a `shared_ptr<const CompiledQuery>`
+/// handed out by the plan cache is safe to execute from any number of
+/// threads concurrently (per-run state lives in exec::EvalOptions and the
+/// governor). tools/lint.py rule `compiled-query-immutable` rejects
+/// writes to the internals outside the build path.
 class CompiledQuery {
  public:
   const std::string& source() const { return source_; }
@@ -113,6 +131,17 @@ class CompiledQuery {
     return lint_findings_;
   }
 
+  /// Canonical fingerprint of (query text, plan-shaping CompileOptions),
+  /// stamped at compile (see Engine::Fingerprint). The plan-cache key;
+  /// also printed by Explain.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Estimated heap footprint of the retained forms (source text, Core
+  /// trees, both plans, lint findings). The byte charge the plan cache's
+  /// LRU accounting uses; approximate by design (sizeof-based traversal,
+  /// like the governor's memory accounting).
+  int64_t MemoryUsage() const { return memory_bytes_; }
+
  private:
   friend class Engine;
   std::string source_;
@@ -122,6 +151,8 @@ class CompiledQuery {
   algebra::OpPtr plan_;
   algebra::OpPtr optimized_;
   std::vector<analysis::LintFinding> lint_findings_;
+  uint64_t fingerprint_ = 0;
+  int64_t memory_bytes_ = 0;
 };
 
 /// Which plan Execute runs.
@@ -156,6 +187,28 @@ class Engine {
   Result<CompiledQuery> Compile(std::string_view query,
                                 const CompileOptions& opts = {});
 
+  /// Canonical plan-cache key for (query, opts): FNV-1a over the
+  /// canonicalized query text (whitespace/comment-insensitive — see
+  /// common/fingerprint.h) combined with every CompileOptions field that
+  /// affects plan shape (rewrite and detection switches, the fine-grained
+  /// rewrite_opts, infer_properties). Compile-time limits (deadline,
+  /// cancel_token) do not shape the plan and are excluded, so a query
+  /// compiled with a deadline still hits the entry cached without one.
+  uint64_t Fingerprint(std::string_view query,
+                       const CompileOptions& opts = {}) const;
+
+  /// Compiles through the sharded plan cache (engine/plan_cache.h): a hit
+  /// returns the shared immutable plan without recompiling; concurrent
+  /// misses on one fingerprint compile exactly once (single-flight), the
+  /// waiters receiving the filled plan or the compile error. The static
+  /// verifiers and the translation-validation oracle run at fill only —
+  /// a hit is an already-verified plan. Thread-safe; when the oracle is
+  /// enabled (Debug default), fills additionally serialize on an engine
+  /// mutex because analysis::EquivChecker is single-threaded.
+  [[nodiscard]]
+  Result<std::shared_ptr<const CompiledQuery>> CompileCached(
+      std::string_view query, const CompileOptions& opts = {});
+
   /// Global bindings by variable name; a document binds as its root node.
   using GlobalMap = std::map<std::string, xdm::Sequence>;
 
@@ -177,12 +230,39 @@ class Engine {
                                 const exec::EvalOptions& opts,
                                 PlanChoice plan = PlanChoice::kOptimized) const;
 
+  /// The serving hot path: CompileCached + Execute. Repeated calls with
+  /// textual variants of one query (whitespace, comments) recompile
+  /// nothing after the first.
+  [[nodiscard]]
+  Result<xdm::Sequence> ExecuteQuery(std::string_view query,
+                                     const GlobalMap& globals,
+                                     const exec::EvalOptions& eval_opts = {},
+                                     const CompileOptions& opts = {});
+
   /// One-shot convenience: compile + execute against a single document
   /// bound to every free variable of the query.
   [[nodiscard]]
   Result<xdm::Sequence> Run(std::string_view query, const xml::Document& doc,
                             exec::PatternAlgo algo = exec::PatternAlgo::kNLJoin,
                             const CompileOptions& opts = {});
+
+  /// Point-in-time plan-cache counters (hits, misses, fills, evictions,
+  /// single-flight waits, bytes, per-shard occupancy).
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.Snapshot(); }
+
+  /// Drops the cached plan for (query, opts). Returns true when an entry
+  /// was present. An in-flight fill is unaffected and will re-insert.
+  bool ErasePlan(std::string_view query, const CompileOptions& opts = {});
+
+  /// Drops every cached plan. Plans still referenced by running
+  /// executions stay alive through their shared_ptr.
+  void ClearPlanCache() { plan_cache_.Clear(); }
+
+  /// Replaces the engine options and invalidates every cached plan (they
+  /// were compiled under the old options; the cached entries are dropped
+  /// lazily via a generation bump). The plan cache's byte capacity stays
+  /// as constructed. Must not race with in-flight Compile calls.
+  void SetOptions(const EngineOptions& options);
 
   /// Multi-phase explain dump (surface / core / rewritten / plan /
   /// optimized plan), for the examples and debugging.
@@ -196,11 +276,25 @@ class Engine {
   /// with the engine's interner, which must exist first).
   analysis::EquivChecker* equiv_checker();
 
+  /// Compiles `query` and wraps it for the cache; runs outside any cache
+  /// shard lock (callers hold compile_mu_ first when the oracle is on).
+  [[nodiscard]]
+  Result<PlanCache::PlanPtr> CompileForCache(const std::string& query,
+                                             const CompileOptions& opts);
+
   EngineOptions options_;
   StringInterner interner_;
   std::map<std::string, std::unique_ptr<xml::Document>> docs_;
   std::unique_ptr<analysis::EquivChecker> equiv_;
   int32_t next_doc_id_ = 0;
+  /// Serializes whole compilations when the translation-validation
+  /// oracle is enabled: the EquivChecker (and its lazy creation) is
+  /// explicitly not thread-safe. With the oracle off (Release serving
+  /// default), cache fills for different keys compile fully in parallel.
+  Mutex compile_mu_;
+  /// Sized once from options_.plan_cache (declared after options_ so the
+  /// default member initializer reads the configured capacity).
+  PlanCache plan_cache_{options_.plan_cache};
 };
 
 }  // namespace xqtp::engine

@@ -1,0 +1,164 @@
+#include "engine/plan_cache.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "engine/engine.h"
+
+namespace xqtp::engine {
+
+PlanCache::PlanCache(const PlanCacheConfig& config)
+    : shard_capacity_(config.capacity_bytes > 0
+                          ? config.capacity_bytes / kPlanCacheShards
+                          : 0),
+      shards_(kPlanCacheShards) {}
+
+PlanCache::~PlanCache() = default;
+
+Result<PlanCache::PlanPtr> PlanCache::GetOrCompile(uint64_t key,
+                                                   const BuildFn& build) {
+  Shard& s = ShardFor(key);
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  std::shared_ptr<InFlight> flight;
+  {
+    MutexLock lock(&s.mu);
+    for (;;) {
+      auto it = s.entries.find(key);
+      if (it != s.entries.end()) {
+        Entry& e = it->second;
+        if (e.generation == gen) {
+          ++s.hits;
+          ++e.hits;
+          s.lru.splice(s.lru.begin(), s.lru, e.lru_it);  // touch
+          return e.plan;
+        }
+        // Stale generation: drop lazily and fall through to a miss.
+        s.bytes -= e.bytes;
+        s.lru.erase(e.lru_it);
+        s.entries.erase(it);
+      }
+      auto in = s.inflight.find(key);
+      if (in == s.inflight.end()) break;  // we claim the fill
+      // Another thread is compiling this key: wait for its outcome.
+      ++s.misses;
+      ++s.single_flight_waits;
+      std::shared_ptr<InFlight> f = in->second;
+      ++f->waiters;
+      while (!f->done) f->cv.Wait(s.mu);
+      --f->waiters;
+      return f->outcome;
+    }
+    ++s.misses;
+    flight = std::make_shared<InFlight>();
+    s.inflight[key] = flight;
+  }
+
+  // Compile outside the shard lock: fills for different keys proceed in
+  // parallel, and hits on other keys of this shard are never blocked by
+  // a slow compilation. The fault point sits at the fill boundary so the
+  // sweep test drives an injected failure through the single-flight
+  // error-publication path.
+  Result<PlanPtr> built = [&]() -> Result<PlanPtr> {
+    XQTP_FAULT_POINT("engine.plan_cache.fill");
+    return build();
+  }();
+
+  MutexLock lock(&s.mu);
+  ++s.fills;
+  if (built.ok()) {
+    Insert(s, key, *built, (*built)->MemoryUsage());
+  } else {
+    ++s.fill_errors;
+  }
+  flight->outcome = built;
+  flight->done = true;
+  s.inflight.erase(key);
+  flight->cv.NotifyAll();
+  return built;
+}
+
+void PlanCache::Insert(Shard& s, uint64_t key, PlanPtr plan, int64_t bytes) {
+  auto it = s.entries.find(key);
+  if (it != s.entries.end()) {
+    s.bytes -= it->second.bytes;
+    s.lru.erase(it->second.lru_it);
+    s.entries.erase(it);
+  }
+  if (shard_capacity_ <= 0 || bytes > shard_capacity_) return;  // uncacheable
+  while (s.bytes + bytes > shard_capacity_ && !s.lru.empty()) {
+    uint64_t victim = s.lru.back();
+    auto vit = s.entries.find(victim);
+    s.bytes -= vit->second.bytes;
+    s.entries.erase(vit);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(key);
+  Entry e;
+  e.plan = std::move(plan);
+  e.bytes = bytes;
+  e.generation = generation_.load(std::memory_order_acquire);
+  e.lru_it = s.lru.begin();
+  s.entries.emplace(key, std::move(e));
+  s.bytes += bytes;
+}
+
+bool PlanCache::Erase(uint64_t key) {
+  Shard& s = ShardFor(key);
+  MutexLock lock(&s.mu);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) return false;
+  s.bytes -= it->second.bytes;
+  s.lru.erase(it->second.lru_it);
+  s.entries.erase(it);
+  return true;
+}
+
+void PlanCache::Clear() {
+  for (Shard& s : shards_) {
+    MutexLock lock(&s.mu);
+    s.entries.clear();
+    s.lru.clear();
+    s.bytes = 0;
+  }
+}
+
+void PlanCache::BumpGeneration() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+PlanCacheStats PlanCache::Snapshot() const {
+  PlanCacheStats out;
+  out.capacity_bytes = shard_capacity_ * kPlanCacheShards;
+  out.generation = generation_.load(std::memory_order_acquire);
+  out.shards.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    MutexLock lock(&s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.fills += s.fills;
+    out.fill_errors += s.fill_errors;
+    out.evictions += s.evictions;
+    out.single_flight_waits += s.single_flight_waits;
+    out.entries += static_cast<int64_t>(s.entries.size());
+    out.bytes += s.bytes;
+    out.shards.push_back(
+        {static_cast<int64_t>(s.entries.size()), s.bytes});
+  }
+  return out;
+}
+
+PlanCachePeek PlanCache::Peek(uint64_t key) const {
+  const Shard& s =
+      shards_[key % static_cast<uint64_t>(kPlanCacheShards)];
+  MutexLock lock(&s.mu);
+  PlanCachePeek out;
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) return out;
+  out.present = true;
+  out.hits = it->second.hits;
+  out.bytes = it->second.bytes;
+  return out;
+}
+
+}  // namespace xqtp::engine

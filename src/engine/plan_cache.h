@@ -1,0 +1,178 @@
+// Sharded compiled-plan cache with single-flight compilation.
+//
+// The ROADMAP north-star is serving heavy repeated traffic: the same
+// pattern queries arrive millions of times, and for small/indexed queries
+// the parse -> normalize -> TPNF' rewrite -> compile -> optimize pipeline
+// dominates served latency. The cache amortizes that pipeline — in the
+// spirit of Pathfinder-style relational XQuery compilers and native XML
+// engines (PAPERS.md) — behind a canonical fingerprint (see
+// common/fingerprint.h and Engine::Fingerprint): whitespace/comment-
+// insensitive query text plus every CompileOptions field that affects
+// plan shape. Verification and translation validation (PRs 1-5) run once,
+// at fill; a hit returns the already-verified immutable plan.
+//
+// Design:
+//  - 16 shards, one common::Mutex each (thread-safety annotated), keyed
+//    by the fingerprint's low bits: concurrent serving threads touching
+//    different queries rarely contend on a lock.
+//  - values are std::shared_ptr<const CompiledQuery>: a hit is safe to
+//    execute on any number of threads while eviction or Clear() drops the
+//    cache's reference (executions keep theirs alive). CompiledQuery is
+//    immutable after build — tools/lint.py (rule compiled-query-immutable)
+//    keeps its internals writable only by the build path.
+//  - SINGLE-FLIGHT fills: N concurrent misses on one key compile once.
+//    The first miss claims an in-flight latch and compiles outside the
+//    shard lock; the other N-1 block on the latch's CondVar and receive
+//    the published plan (or the compile error — errors are never cached).
+//    This is the stampede protection a cold restart under heavy repeated
+//    traffic needs: without it, every worker recompiles the same hot
+//    query simultaneously.
+//  - byte-accounted LRU per shard: each entry is charged its
+//    CompiledQuery::MemoryUsage(); inserting past the shard's budget
+//    (capacity_bytes / 16) evicts least-recently-used entries. A plan
+//    larger than a whole shard budget is returned but not cached.
+//  - explicit invalidation: Erase(key), Clear(), and BumpGeneration()
+//    (used when EngineOptions change): entries stamped with an older
+//    generation are treated as misses and dropped lazily.
+#ifndef XQTP_ENGINE_PLAN_CACHE_H_
+#define XQTP_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace xqtp::engine {
+
+class CompiledQuery;
+
+inline constexpr int kPlanCacheShards = 16;
+
+struct PlanCacheConfig {
+  /// Total byte budget across all shards (each shard gets 1/16th).
+  /// <= 0 disables caching: every GetOrCompile compiles (still
+  /// single-flight deduplicated while concurrent).
+  int64_t capacity_bytes = 64ll << 20;
+};
+
+/// Point-in-time snapshot of the cache counters (Engine::PlanCacheStats).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;               ///< lookups that had to compile or wait
+  int64_t fills = 0;                ///< compilations actually executed
+  int64_t fill_errors = 0;          ///< fills whose compilation failed
+  int64_t evictions = 0;            ///< LRU evictions (not Erase/Clear)
+  int64_t single_flight_waits = 0;  ///< misses served by another thread's fill
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  int64_t capacity_bytes = 0;
+  uint64_t generation = 0;
+  struct Shard {
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<Shard> shards;  ///< per-shard occupancy, kPlanCacheShards wide
+};
+
+/// What Explain reports about a key without touching LRU order.
+struct PlanCachePeek {
+  bool present = false;
+  int64_t hits = 0;   ///< hits served by the present entry
+  int64_t bytes = 0;  ///< the entry's accounted size
+};
+
+class PlanCache {
+ public:
+  using PlanPtr = std::shared_ptr<const CompiledQuery>;
+  /// Compiles one plan; invoked outside any shard lock. Must be safe to
+  /// call concurrently for *different* keys (the engine serializes the
+  /// analysis oracle itself when it is enabled).
+  using BuildFn = std::function<Result<PlanPtr>()>;
+
+  explicit PlanCache(const PlanCacheConfig& config = {});
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key`, or compiles it via `build` with
+  /// single-flight deduplication: concurrent callers of one key run
+  /// `build` exactly once and all receive its outcome. Compile errors
+  /// propagate to every waiter and are not cached.
+  [[nodiscard]]
+  Result<PlanPtr> GetOrCompile(uint64_t key, const BuildFn& build);
+
+  /// Drops one key's entry (an in-flight fill for it is unaffected and
+  /// will re-insert). Returns true when an entry was present.
+  bool Erase(uint64_t key);
+
+  /// Drops every cached entry.
+  void Clear();
+
+  /// Invalidates all current entries lazily: they remain until looked up
+  /// or evicted, but any lookup treats them as misses. Used when
+  /// EngineOptions change out from under compiled plans.
+  void BumpGeneration();
+
+  PlanCacheStats Snapshot() const;
+
+  /// Read-only probe for Explain: no LRU touch, no stat changes.
+  PlanCachePeek Peek(uint64_t key) const;
+
+ private:
+  struct InFlight {
+    /// All fields are guarded by the owning shard's mutex (a dynamic
+    /// association the static annotations cannot express).
+    bool done = false;
+    Result<PlanPtr> outcome{Status::Internal("plan-cache fill pending")};
+    int64_t waiters = 0;
+    CondVar cv;
+  };
+
+  struct Entry {
+    PlanPtr plan;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    uint64_t generation = 0;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Entry> entries GUARDED_BY(mu);
+    /// Front = most recently used; keys mirror `entries`.
+    std::list<uint64_t> lru GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight
+        GUARDED_BY(mu);
+    int64_t bytes GUARDED_BY(mu) = 0;
+    int64_t hits GUARDED_BY(mu) = 0;
+    int64_t misses GUARDED_BY(mu) = 0;
+    int64_t fills GUARDED_BY(mu) = 0;
+    int64_t fill_errors GUARDED_BY(mu) = 0;
+    int64_t evictions GUARDED_BY(mu) = 0;
+    int64_t single_flight_waits GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    return shards_[key % static_cast<uint64_t>(kPlanCacheShards)];
+  }
+
+  /// Inserts (or replaces) `key` under the shard's byte budget, evicting
+  /// LRU entries as needed. Oversized plans are skipped.
+  void Insert(Shard& s, uint64_t key, PlanPtr plan, int64_t bytes)
+      REQUIRES(s.mu);
+
+  const int64_t shard_capacity_;
+  std::atomic<uint64_t> generation_{0};
+  std::vector<Shard> shards_;
+};
+
+}  // namespace xqtp::engine
+
+#endif  // XQTP_ENGINE_PLAN_CACHE_H_

@@ -50,9 +50,11 @@ class Evaluator {
       par_->min_fanout = std::max(1, opts.parallel_min_fanout);
       par_->morsels_per_thread = std::max(1, opts.parallel_morsels_per_thread);
       // The per-query pool is created on the first evaluation that
-      // actually morselizes — small queries never pay the thread spawn.
-      par_->pool = [this, threads]() {
-        if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads);
+      // actually morselizes — small queries never pay the thread spawn —
+      // and at the driver's clamped width, so a fan-out that feeds 3
+      // threads never spawns 8 (the bench_parallel scaling cliff).
+      par_->pool = [this](int desired) {
+        if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(desired);
         return pool_.get();
       };
       // Workers re-install the query's governor per morsel; the caller

@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <atomic>
 #include <iterator>
+#include <optional>
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/interner.h"
 #include "exec/exec_stats.h"
 #include "storage/node_table.h"
 #include "xdm/sequence_ops.h"
@@ -32,6 +34,13 @@ std::atomic<int64_t> g_parallel_evals{0};
 
 int64_t ParallelEvaluationCountForTesting() {
   return g_parallel_evals.load(std::memory_order_relaxed);
+}
+
+int ClampParallelThreads(size_t units, int threads, int min_fanout) {
+  if (threads < 2) return threads;
+  size_t per_unit = units / static_cast<size_t>(std::max(1, min_fanout));
+  if (per_unit >= static_cast<size_t>(threads)) return threads;
+  return std::max(2, static_cast<int>(per_unit));
 }
 
 int ThreadPool::ResolveThreads(int threads) {
@@ -348,9 +357,14 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
     units = std::move(candidates);
   }
 
-  std::vector<MorselRange> morsels = PlanMorsels(units.size(), par);
+  // Clamp the fan-out to what the units can feed before sizing morsels
+  // or the pool: a lazily-created pool is born at the clamped width, so
+  // small-fan-out queries never pay for workers they cannot keep busy.
+  ParallelContext eff = par;
+  eff.threads = ClampParallelThreads(units.size(), par.threads, par.min_fanout);
+  std::vector<MorselRange> morsels = PlanMorsels(units.size(), eff);
   if (morsels.size() < 2) return false;
-  ThreadPool* pool = par.pool();
+  ThreadPool* pool = par.pool(eff.threads);
   if (pool == nullptr) return false;
 
   // Pre-warm every document the morsels touch, so workers only ever hit
@@ -375,6 +389,11 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
     // is observed between morsels (the entry poll) and on the inner-loop
     // strides of the sequential algorithm it runs.
     ScopedGovernor governed(par.governor);
+    // The "no interning mid-query" assert is per-thread (so plan-cache
+    // fills may intern concurrently on other serving threads); each
+    // worker re-establishes the freeze for its morsel's duration.
+    std::optional<StringInterner::ExecutionFreeze> freeze;
+    if (!docs.empty()) freeze.emplace(*docs.front()->interner());
     Part& part = parts[static_cast<size_t>(m)];
     Status entry = GovernorPoll();
 #if XQTP_FAULT_INJECTION
@@ -433,8 +452,10 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
     }
   }
 
-  std::vector<MorselRange> morsels = PlanMorsels(in.size(), par);
-  ThreadPool* pool = par.pool ? par.pool() : nullptr;
+  ParallelContext eff = par;
+  eff.threads = ClampParallelThreads(in.size(), par.threads, par.min_fanout);
+  std::vector<MorselRange> morsels = PlanMorsels(in.size(), eff);
+  ThreadPool* pool = par.pool ? par.pool(eff.threads) : nullptr;
   struct Part {
     Result<TupleSeq> tuples = TupleSeq{};
   };
@@ -443,6 +464,8 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
   auto run_morsel = [&](int m) {
     ScopedExecStats scope;
     ScopedGovernor governed(par.governor);
+    std::optional<StringInterner::ExecutionFreeze> freeze;
+    if (!docs.empty()) freeze.emplace(*docs.front()->interner());
     const MorselRange& mr = morsels[static_cast<size_t>(m)];
     TupleSeq out;
     Status err = GovernorPoll();  // observe cancellation between morsels

@@ -94,9 +94,14 @@ class ThreadPool {
 
 /// Per-evaluation parallelism parameters handed down from EvalOptions.
 /// `pool` is a lazy accessor so the (per-query) pool is only created once
-/// a pattern actually morselizes.
+/// a pattern actually morselizes. It receives the driver's *effective*
+/// thread count (see ClampParallelThreads) so the first morselizing
+/// evaluation sizes the pool to the work actually available instead of
+/// the requested maximum — spawning workers that would only contend on
+/// the morsel cursor is exactly the scaling cliff bench_parallel
+/// recorded at 4 and 8 threads on ~1000-unit fan-outs.
 struct ParallelContext {
-  std::function<ThreadPool*()> pool;
+  std::function<ThreadPool*(int threads)> pool;
   /// The query's governor, or nullptr when no limits are set. Workers
   /// install it (exec/governor.h ScopedGovernor) for the duration of each
   /// morsel, observe cancellation between morsels, and share its sticky
@@ -111,6 +116,15 @@ struct ParallelContext {
   /// morsels, never smaller than min_fanout / 4 units each.
   int morsels_per_thread = 4;
 };
+
+/// Effective worker count for `units` parallel work units: one thread
+/// per `min_fanout` units, clamped to [2, threads]. The floor of 2
+/// preserves the min_fanout gate's decision that parallelism is
+/// worthwhile at all; the per-unit scaling stops an 8-thread request
+/// from oversubscribing a fan-out that only feeds 2-3 threads (pool
+/// spawn + morsel-cursor contention made 8 threads *slower* than 2 on
+/// the XMark //item//location bench before this clamp).
+int ClampParallelThreads(size_t units, int threads, int min_fanout);
 
 /// Attempts morsel-parallel evaluation of `tp` over `context` with the
 /// (already cost-resolved) algorithm. Returns true and fills `*out` when

@@ -36,6 +36,9 @@ constexpr SiteConfig kRegistry[] = {
     {"core.rewrite.round", exec::PatternAlgo::kNLJoin, 1},
     {"algebra.compile", exec::PatternAlgo::kNLJoin, 1},
     {"algebra.optimize.round", exec::PatternAlgo::kNLJoin, 1},
+    // Plan-cache fill boundary: the injected error must flow through the
+    // single-flight error-publication path and must not be cached.
+    {"engine.plan_cache.fill", exec::PatternAlgo::kNLJoin, 1},
     // Execution spine.
     {"engine.execute", exec::PatternAlgo::kNLJoin, 1},
     {"exec.evaluate", exec::PatternAlgo::kNLJoin, 1},
@@ -83,13 +86,15 @@ Result<xdm::Sequence> RunPipeline(const SiteConfig& cfg) {
   engine::Engine engine(eopts);
   XQTP_ASSIGN_OR_RETURN(const xml::Document* doc,
                         engine.LoadDocument("d", BuildDocumentXml()));
-  XQTP_ASSIGN_OR_RETURN(engine::CompiledQuery cq, engine.Compile(kQuery));
   engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc->root())}}};
   exec::EvalOptions opts;
   opts.algo = cfg.algo;
   opts.threads = cfg.threads;
   opts.parallel_min_fanout = 4;
-  return engine.Execute(cq, globals, opts);
+  // The serving entry point: compilation goes through the plan cache, so
+  // the sweep also covers the cache-fill boundary site. The engine is
+  // fresh each run — every compile is a genuine fill.
+  return engine.ExecuteQuery(kQuery, globals, opts);
 }
 
 TEST(FaultInjectionSweep, EverySiteFailsCleanlyAndRecovers) {

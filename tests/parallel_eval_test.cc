@@ -177,6 +177,31 @@ TEST(ParallelRerootTest, SelfRootedStreamKeepsContextMatches) {
   }
 }
 
+// Regression for the BENCH_smoke.json scaling cliff ($input//item//location
+// NLJoin: 528µs @2t → 618µs @4t → 717µs @8t before the clamp): the driver
+// must size pool and morsels by the work actually available — one thread
+// per min_fanout units — instead of the requested maximum, so an
+// 8-thread request over a ~1000-candidate fan-out runs ~3 threads wide.
+TEST(ThreadClampTest, EffectiveThreadsTrackAvailableMorsels) {
+  // The bench shape: 1020 //item candidates, default min_fanout 256.
+  EXPECT_EQ(ClampParallelThreads(1020, 8, 256), 3);
+  EXPECT_EQ(ClampParallelThreads(1020, 4, 256), 3);
+  EXPECT_EQ(ClampParallelThreads(1020, 2, 256), 2);
+  // Plenty of units: the requested width is honored.
+  EXPECT_EQ(ClampParallelThreads(8 * 256, 8, 256), 8);
+  EXPECT_EQ(ClampParallelThreads(100000, 8, 256), 8);
+  // The floor is 2: the min_fanout gate (not the clamp) decides whether
+  // parallelism happens at all, so tiny-but-eligible fan-outs keep their
+  // two-way split (the translation-validation oracle relies on this).
+  EXPECT_EQ(ClampParallelThreads(4, 8, 4), 2);
+  EXPECT_EQ(ClampParallelThreads(2, 2, 2), 2);
+  // Sequential requests pass through untouched.
+  EXPECT_EQ(ClampParallelThreads(1020, 1, 256), 1);
+  EXPECT_EQ(ClampParallelThreads(1020, 0, 256), 0);
+  // Degenerate min_fanout never divides by zero.
+  EXPECT_EQ(ClampParallelThreads(1020, 8, 0), 8);
+}
+
 // ThreadPool plumbing: ResolveThreads maps the EvalOptions encoding to an
 // actual worker count.
 TEST(ThreadPoolTest, ResolveThreads) {

@@ -35,6 +35,13 @@ discipline:
                     in void context) must appear in the sweep registry in
                     tests/fault_injection_test.cc, so a new site cannot
                     ship without the sweep forcing a failure through it.
+  compiled-query-immutable  CompiledQuery is immutable after Engine::Compile
+                    returns — the plan cache shares one instance across
+                    threads without a lock, so that immutability IS the
+                    thread-safety proof. Only the build path
+                    (src/engine/engine.{h,cc}) may assign its members;
+                    everywhere else, assigning to them or const_cast-ing
+                    a CompiledQuery is a data race waiting to happen.
 
 A finding prints as `path:line: [rule] message` and the process exits 1.
 A line may opt out with a trailing `lint:allow(<rule>, reason=<why>)`
@@ -357,8 +364,53 @@ def make_check_fault_site_registered(registry):
     return check
 
 
+# --------------------------------------------------------------------------
+# rule: compiled-query-immutable
+
+# The build path: CompiledQuery's class definition (default member
+# initializers) and Engine::Compile's stamping of the members.
+COMPILED_QUERY_EXEMPT = {
+    os.path.join("src", "engine", "engine.h"),
+    os.path.join("src", "engine", "engine.cc"),
+}
+
+# CompiledQuery's private members (src/engine/engine.h). `plan_` is
+# omitted: the name is too generic to key a textual rule on, and a plan_
+# mutation outside the build path would come with one of these anyway.
+COMPILED_QUERY_MEMBER_WRITE_RE = re.compile(
+    r"\b(?:source_|normalized_|rewritten_|optimized_|lint_findings_|"
+    r"fingerprint_|memory_bytes_)\s*(?:=(?!=)|\.\s*(?:push_back|clear|"
+    r"reset|assign|swap|emplace\w*)\s*\()")
+CONST_CAST_COMPILED_QUERY_RE = re.compile(
+    r"const_cast\s*<[^>]*\bCompiledQuery\b")
+
+
+def check_compiled_query_immutable(relpath, raw, code, findings):
+    rel = relpath.replace(os.sep, "/")
+    exempt = {p.replace(os.sep, "/") for p in COMPILED_QUERY_EXEMPT}
+    for lineno, line in enumerate(code, 1):
+        if rel not in exempt and COMPILED_QUERY_MEMBER_WRITE_RE.search(line):
+            if not allowed(raw[lineno - 1], "compiled-query-immutable"):
+                findings.append(Finding(
+                    relpath, lineno, "compiled-query-immutable",
+                    "write to a CompiledQuery member outside the build path "
+                    "(src/engine/engine.{h,cc}) — compiled queries are "
+                    "shared across threads by the plan cache; their "
+                    "immutability after Compile() IS the thread-safety "
+                    "argument"))
+                continue
+        if CONST_CAST_COMPILED_QUERY_RE.search(line):
+            if not allowed(raw[lineno - 1], "compiled-query-immutable"):
+                findings.append(Finding(
+                    relpath, lineno, "compiled-query-immutable",
+                    "const_cast of a CompiledQuery — the cache hands out "
+                    "shared const plans; casting the const away breaks the "
+                    "no-lock sharing contract"))
+
+
 RULES = [check_raw_sync, check_no_stdout, check_nodiscard_status,
-         check_include_guard, check_assert_side_effect, check_allow_reason]
+         check_include_guard, check_assert_side_effect, check_allow_reason,
+         check_compiled_query_immutable]
 
 
 # --------------------------------------------------------------------------
@@ -472,6 +524,33 @@ SELF_TEST_FIXTURES = [
      "Status F() {\n"
      "  XQTP_FAULT_POINT(\"exec.registered.site\");\n"
      "  return fault::Poll(\"exec.registered.site\");\n"
+     "}\n",
+     set()),
+    # compiled-query-immutable: writes outside the build path fire; the
+    # build path itself and read-only access stay quiet.
+    ("src/bad/cache_mutation.cc",
+     "#include \"engine/engine.h\"\n"
+     "void Patch(engine::CompiledQuery* q) {\n"
+     "  q->fingerprint_ = 0;\n"
+     "  q->lint_findings_.clear();\n"
+     "}\n"
+     "void Cast(const engine::CompiledQuery& q) {\n"
+     "  auto* w = const_cast<engine::CompiledQuery*>(&q);\n"
+     "}\n",
+     {"compiled-query-immutable"}),
+    ("src/engine/engine.cc",
+     "#include \"engine/engine.h\"\n"
+     "// The build path: stamping members here is the rule's one hole.\n"
+     "void Stamp(engine::CompiledQuery* q) {\n"
+     "  q->fingerprint_ = 1;\n"
+     "  q->memory_bytes_ = 2;\n"
+     "}\n",
+     set()),
+    ("src/good/cache_reader.cc",
+     "#include \"engine/engine.h\"\n"
+     "// Reads and comparisons are fine; fingerprint_ == x is not a write.\n"
+     "bool Same(const engine::CompiledQuery& q, uint64_t fingerprint_) {\n"
+     "  return q.fingerprint() == fingerprint_;\n"
      "}\n",
      set()),
 ]
