@@ -1,0 +1,138 @@
+// Columnar-batch-execution payoff: the same XMark pipeline queries through
+// the row-at-a-time reference path (TupleExecMode::kRow) and the columnar
+// batch evaluator (kBatch, the default) at threads=1 — the perf claim the
+// batch tentpole makes is a >= 1.5x throughput win on at least one of
+// these, from eliminated per-row Tuple materialization (the pattern's
+// input fields become broadcast columns; kMapToItem concatenates a
+// field's column directly). Both modes run the same pattern algorithm
+// (staircase — cheap enough that the pattern evaluation doesn't drown the
+// tuple layer this bench exists to measure; under NLJoin the join
+// dominates and compresses the row/batch gap). A threads=2 batch leg
+// rides along to show the morsel driver composes with batches. Before any timing, main() verifies
+// both modes are bit-identical on every benched query and that the batch
+// path materializes no more tuples than the row path. Run with
+// --json=<path> for perf-trajectory records; modes are distinguished by
+// the record's "variant" field (row / batch).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace xqtp::bench {
+namespace {
+
+// XMark pipeline queries (from workload/xmark_queries.cc): a positional
+// select, a deep child chain, and a descendant-axis double step.
+constexpr struct {
+  const char* id;
+  const char* text;
+} kQueries[] = {
+    {"XQ1", "$input/site/people/person[1]/name"},
+    {"XQ15", "$input/site/open_auctions/open_auction/bidder/date"},
+    {"XQ19", "$input//item//name"},
+};
+
+constexpr struct {
+  const char* tag;
+  exec::TupleExecMode mode;
+} kModes[] = {{"row", exec::TupleExecMode::kRow},
+              {"batch", exec::TupleExecMode::kBatch}};
+
+const xml::Document& Doc() { return XmarkDoc("xmark_batch", 0.5); }
+
+exec::EvalOptions ModeOpts(exec::TupleExecMode mode, int threads) {
+  exec::EvalOptions opts;
+  opts.algo = exec::PatternAlgo::kStaircase;
+  opts.threads = threads;
+  opts.tuple_exec = mode;
+  // Time the execution paths, not the debug-build claim assertions.
+  opts.check_inferred_props = false;
+  return opts;
+}
+
+// Proves the equivalence + materialization story before anything is
+// timed: per query, row and batch results bit-identical at threads=1,
+// and the batch path materializes no more tuples than the row path.
+bool VerifyModes() {
+  engine::Engine& e = SharedEngine();
+  const xml::Document& doc = Doc();
+  for (const auto& q : kQueries) {
+    auto cq = e.Compile(q.text);
+    if (!cq.ok()) {
+      std::fprintf(stderr, "bench_batch: compile failed for %s\n", q.id);
+      return false;
+    }
+    engine::Engine::GlobalMap globals{{"input", {xdm::Item(doc.root())}}};
+    ExecStats stats[2];
+    xdm::Sequence results[2];
+    for (int m = 0; m < 2; ++m) {
+      ScopedExecStats scope;
+      auto res = e.Execute(*cq, globals, ModeOpts(kModes[m].mode, 1));
+      stats[m] = scope.stats();
+      if (!res.ok()) {
+        std::fprintf(stderr, "bench_batch: %s failed for %s: %s\n",
+                     kModes[m].tag, q.id, res.status().ToString().c_str());
+        return false;
+      }
+      results[m] = std::move(*res);
+    }
+    if (results[0] != results[1]) {
+      std::fprintf(stderr, "bench_batch: row/batch DIVERGENCE for %s\n", q.id);
+      return false;
+    }
+    std::fprintf(stderr,
+                 "bench_batch: %-5s tuples_materialized row=%lld batch=%lld "
+                 "batches=%lld\n",
+                 q.id, static_cast<long long>(stats[0].tuples_materialized),
+                 static_cast<long long>(stats[1].tuples_materialized),
+                 static_cast<long long>(stats[1].batches));
+    if (stats[1].tuples_materialized > stats[0].tuples_materialized) {
+      std::fprintf(stderr,
+                   "bench_batch: batch mode materialized MORE tuples than "
+                   "row mode for %s\n",
+                   q.id);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Register() {
+  for (const auto& query : kQueries) {
+    for (const auto& mode : kModes) {
+      std::string name =
+          std::string("Batch/") + query.id + "/" + mode.tag + "/t1";
+      std::string q = query.text;
+      exec::TupleExecMode m = mode.mode;
+      std::string tag = mode.tag;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [q, m, tag](benchmark::State& state) {
+            RunQueryBenchmark(state, q, Doc(), ModeOpts(m, 1),
+                              engine::PlanChoice::kOptimized, {}, tag);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+    // Batch + morsel driver: the columnar pipeline feeding / draining
+    // EvalPatternTuplesParallel.
+    std::string name = std::string("Batch/") + query.id + "/batch/t2";
+    std::string q = query.text;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [q](benchmark::State& state) {
+          exec::EvalOptions opts = ModeOpts(exec::TupleExecMode::kBatch, 2);
+          opts.parallel_min_fanout = 64;
+          RunQueryBenchmark(state, q, Doc(), opts,
+                            engine::PlanChoice::kOptimized, {}, "batch");
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace xqtp::bench
+
+int main(int argc, char** argv) {
+  if (!xqtp::bench::VerifyModes()) return 1;
+  xqtp::bench::Register();
+  return xqtp::bench::BenchMain(argc, argv);
+}

@@ -11,7 +11,8 @@
 #     execution of every rewrite checkpoint) with the sanitizers watching
 #     the checkers themselves.
 #  3. Release + TSan — the morsel-parallel driver's threading tests
-#     (parallel_eval_test, concurrency_test) and the plan-cache
+#     (parallel_eval_test, concurrency_test), the columnar-batch CoW
+#     aliasing tests (tuple_batch_test) and the plan-cache
 #     concurrency suite (plan_cache_test: the single-flight stampede and
 #     hit/miss/erase/clear hammer) under ThreadSanitizer:
 #     per-query thread pools, the shared-mutex lazy-index path, and two
@@ -38,7 +39,7 @@
 #    line is part of the gate's output — the deep seed-matrix sweep under
 #    sanitizers lives in ci/fuzz.sh;
 #  - a bounded smoke run of bench_parallel, bench_plan_props,
-#    bench_governor, bench_compile and bench_plan_cache whose
+#    bench_governor, bench_compile, bench_plan_cache and bench_batch whose
 #    perf-trajectory records (--json) are merged by tools/bench_smoke.py
 #    into BENCH_smoke.json at the repo root, with a WARN-ONLY per-record
 #    timing delta against the committed baseline printed to the log.
@@ -164,7 +165,7 @@ build-ci-release/tools/equiv_fuzz --iters 500 --seed 1 \
 leg_done equiv-fuzz
 
 echo "==== [bench-smoke] perf trajectory -> BENCH_smoke.json ===="
-# Two binaries, one merged trajectory file: tools/bench_smoke.py sorts
+# Several binaries, one merged trajectory file: tools/bench_smoke.py sorts
 # records by (bench, query, algo, threads, variant) for stable diffs and
 # prints the warn-only timing delta against the committed baseline.
 SMOKE_TMP="$(mktemp -d)"
@@ -179,6 +180,8 @@ build-ci-release/bench/bench_compile \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/compile.json"
 build-ci-release/bench/bench_plan_cache \
   --benchmark_min_time=0.05 --json="$SMOKE_TMP/plan_cache.json"
+build-ci-release/bench/bench_batch \
+  --benchmark_min_time=0.05 --json="$SMOKE_TMP/batch.json"
 if git show HEAD:BENCH_smoke.json > "$SMOKE_TMP/baseline.json" 2>/dev/null
 then
   BASELINE=(--baseline "$SMOKE_TMP/baseline.json")
@@ -188,7 +191,7 @@ fi
 python3 tools/bench_smoke.py --out BENCH_smoke.json "${BASELINE[@]}" \
   "$SMOKE_TMP/parallel.json" "$SMOKE_TMP/plan_props.json" \
   "$SMOKE_TMP/governor.json" "$SMOKE_TMP/compile.json" \
-  "$SMOKE_TMP/plan_cache.json"
+  "$SMOKE_TMP/plan_cache.json" "$SMOKE_TMP/batch.json"
 python3 -c "import json; json.load(open('BENCH_smoke.json'))" \
   && echo "BENCH_smoke.json: valid JSON"
 leg_done bench-smoke
@@ -207,11 +210,11 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=Release \
   -DXQTP_FAULT_INJECTION=ON > /dev/null
 echo "==== [tsan] build ===="
 cmake --build build-ci-tsan -j "$JOBS" \
-  --target parallel_eval_test concurrency_test \
+  --target tuple_batch_test parallel_eval_test concurrency_test \
   governor_test fault_injection_test plan_cache_test
 echo "==== [tsan] test ===="
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R '^(parallel_eval_test|concurrency_test|governor_test|fault_injection_test|plan_cache_test)$'
+  -R '^(tuple_batch_test|parallel_eval_test|concurrency_test|governor_test|fault_injection_test|plan_cache_test)$'
 leg_done tsan
 
 echo "==== leg wall-clock summary ===="

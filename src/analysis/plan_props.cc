@@ -69,6 +69,13 @@ bool ProvenDdoRedundant(const ItemProps& p) {
   return p.ordered && p.dup_free && (p.nodes_only || p.card.hi <= 1);
 }
 
+bool ClaimsImplyDdoIdentity(const algebra::PropsClaims& claims) {
+  // StampClaims only emits ordered/dup_free when the checkability gate
+  // (nodes_only || card.hi <= 1) held, so the two bits together already
+  // carry the all-node-or-short evidence ProvenDdoRedundant requires.
+  return claims.ordered && claims.dup_free;
+}
+
 namespace {
 
 /// True when every main-path step uses child / attribute / self — all

@@ -157,6 +157,14 @@ PlanProps InferPlanProps(const algebra::Op& plan,
 /// sequences unchanged).
 bool ProvenDdoRedundant(const ItemProps& p);
 
+/// True when an operator's STAMPED claims alone prove fs:ddo over its
+/// output is the identity, so the evaluator may skip even the O(n)
+/// IsDistinctDocOrdered probe. Sound because AnnotatePlanProps only
+/// stamps ordered/dup_free when the sequence is proven all-node or at
+/// most one item — both domains on which Ddo returns its input
+/// unchanged. False for unstamped operators (claims default to absent).
+bool ClaimsImplyDdoIdentity(const algebra::PropsClaims& claims);
+
 /// Infers and stamps runtime-checkable claims (algebra::Op::props) onto
 /// every item plan whose facts are non-trivial. Order claims are only
 /// stamped when the evaluator can decide them (all-nodes or at most one

@@ -12,7 +12,10 @@ std::string ExecStats::ToString() const {
          " index_skips=" + std::to_string(index_skips) +
          " pattern_evals=" + std::to_string(pattern_evals) +
          " governor_checks=" + std::to_string(governor_checks) +
-         " peak_memory_bytes=" + std::to_string(peak_memory_bytes);
+         " peak_memory_bytes=" + std::to_string(peak_memory_bytes) +
+         " batches=" + std::to_string(batches) +
+         " tuples_materialized=" + std::to_string(tuples_materialized) +
+         " cow_column_copies=" + std::to_string(cow_column_copies);
 }
 
 ExecStats* CurrentExecStats() { return g_current; }

@@ -33,6 +33,19 @@ struct ExecStats {
   /// High-water mark of bytes accounted against the governor's memory
   /// budget during the execution. Zero when no governor was active.
   int64_t peak_memory_bytes = 0;
+  /// TupleBatches produced by the columnar evaluator (exec/tuple.h):
+  /// one per batch yielded by an operator kernel, including zero-copy
+  /// selection views. Zero under row-at-a-time execution.
+  int64_t batches = 0;
+  /// Tuples physically written — rows whose field sequences were copied
+  /// or built, whether into a Tuple (row mode, row bridge) or into fresh
+  /// batch columns. Rows passed along by column sharing do not count;
+  /// the batch/row gap in this counter is the point of the layout.
+  int64_t tuples_materialized = 0;
+  /// Shared / filtered / broadcast columns deep-copied because a
+  /// consumer needed flat owned storage (TupleBatch::Flatten — the
+  /// copy-on-write "write"). One count per column gathered.
+  int64_t cow_column_copies = 0;
 
   /// Adds another collector's counters into this one. The morsel driver
   /// (exec/parallel.h) gives each worker morsel its own scope and merges
@@ -48,6 +61,9 @@ struct ExecStats {
     if (other.peak_memory_bytes > peak_memory_bytes) {
       peak_memory_bytes = other.peak_memory_bytes;
     }
+    batches += other.batches;
+    tuples_materialized += other.tuples_materialized;
+    cow_column_copies += other.cow_column_copies;
   }
 
   std::string ToString() const;
@@ -84,6 +100,15 @@ inline void CountIndexSkip() {
 }
 inline void CountPatternEval() {
   if (ExecStats* s = CurrentExecStats()) ++s->pattern_evals;
+}
+inline void CountBatch() {
+  if (ExecStats* s = CurrentExecStats()) ++s->batches;
+}
+inline void CountTuplesMaterialized(int64_t n) {
+  if (ExecStats* s = CurrentExecStats()) s->tuples_materialized += n;
+}
+inline void CountCowColumnCopies(int64_t n) {
+  if (ExecStats* s = CurrentExecStats()) s->cow_column_copies += n;
 }
 
 }  // namespace xqtp

@@ -1,8 +1,11 @@
 #include "exec/evaluator.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 
+#include "analysis/plan_props.h"
 #include "common/exec_stats.h"
 #include "common/fault_injection.h"
 #include "exec/fn_lib.h"
@@ -38,6 +41,11 @@ int64_t ApproxBytes(const Tuple& t) {
   return bytes;
 }
 
+/// Downstream consumer of a streamed tuple-plan pipeline. Producers call
+/// it once per non-empty TupleBatch, in row order; an error Status stops
+/// the stream.
+using BatchSink = std::function<Status(TupleBatch&&)>;
+
 class Evaluator {
  public:
   Evaluator(const core::VarTable& vars, const Bindings& bindings,
@@ -64,17 +72,18 @@ class Evaluator {
   }
 
   Result<Sequence> Run(const Op& plan) {
-    return EvalItem(plan, nullptr, nullptr);
+    return EvalItem(plan, RowView(), nullptr);
   }
 
  private:
-  /// Evaluates an item plan. `tuple` is the current tuple for dependent
-  /// plans (IN#field / IN as tuple); `item` is the current item for
-  /// MapFromItem dependents (IN as item). When the optimizer stamped
-  /// property claims on the operator, debug builds assert them against
-  /// the concrete output sequence.
-  Result<Sequence> EvalItem(const Op& op, const Tuple* tuple,
-                            const Item* item) {
+  /// Evaluates an item plan. `tuple` is the current tuple context for
+  /// dependent plans (IN#field / IN as tuple) — a RowView over either a
+  /// materialized Tuple (row mode; `const Tuple*` call sites convert
+  /// implicitly) or one row of a TupleBatch (batch kernels); `item` is
+  /// the current item for MapFromItem dependents (IN as item). When the
+  /// optimizer stamped property claims on the operator, debug builds
+  /// assert them against the concrete output sequence.
+  Result<Sequence> EvalItem(const Op& op, RowView tuple, const Item* item) {
     if (!opts_.check_inferred_props || !op.props.Any()) {
       return EvalItemInner(op, tuple, item);
     }
@@ -131,7 +140,7 @@ class Evaluator {
     return Status::OK();
   }
 
-  Result<Sequence> EvalItemInner(const Op& op, const Tuple* tuple,
+  Result<Sequence> EvalItemInner(const Op& op, RowView tuple,
                                  const Item* item) {
     // The operator boundary is the evaluator's cooperative check cadence,
     // strided: a full governor check (cancel + deadline + budget) every
@@ -169,10 +178,10 @@ class Evaluator {
         }
         return Sequence{*item};
       case OpKind::kFieldAccess: {
-        if (tuple == nullptr) {
+        if (!tuple.valid()) {
           return Status::Internal("IN#field used outside a tuple context");
         }
-        const Sequence* v = tuple->Get(op.field);
+        const Sequence* v = tuple.Get(op.field);
         if (v == nullptr) return Sequence{};
         return *v;
       }
@@ -192,22 +201,51 @@ class Evaluator {
       case OpKind::kDdo: {
         XQTP_ASSIGN_OR_RETURN(Sequence in,
                               EvalItem(*op.inputs[0], tuple, item));
-        // Plans stack a Ddo on every path step; when the input is already
-        // distinct and document-ordered (single-output patterns emit such
-        // sequences by construction), skip the re-sort.
+        // Plans stack a Ddo on every path step. Two escapes, cheapest
+        // first: the optimizer's stamped claims on the INPUT operator
+        // prove the sort is the identity (plan_props inference — skips
+        // even the O(n) probe), else the runtime probe catches inputs
+        // that happen to be sorted (single-output patterns emit such
+        // sequences by construction).
+        if (analysis::ClaimsImplyDdoIdentity(op.inputs[0]->props)) return in;
         if (xdm::IsDistinctDocOrdered(in)) return in;
         return xdm::DistinctDocOrder(std::move(in));
       }
       case OpKind::kMapToItem: {
-        XQTP_ASSIGN_OR_RETURN(TupleSeq tuples,
-                              EvalTuples(*op.inputs[0], tuple));
+        if (opts_.tuple_exec == TupleExecMode::kRow) {
+          return MapToItemRow(op, tuple);
+        }
         Sequence out;
         ScopedMemoryCharge mem;
-        for (const Tuple& t : tuples) {
-          XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, &t, nullptr));
-          XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
-          out.insert(out.end(), part.begin(), part.end());
-        }
+        const Op& dep = *op.dep;
+        // Satellite fast path: a dependent plan that is just IN#field
+        // needs no per-row evaluation at all — resolve the field symbol
+        // ONCE per batch and concatenate the column's sequences. (Skipped
+        // when claim checking wants to see the dep's output per row.)
+        const bool field_fast =
+            dep.kind == OpKind::kFieldAccess &&
+            !(opts_.check_inferred_props && dep.props.Any());
+        XQTP_RETURN_NOT_OK(EvalTupleBatches(
+            *op.inputs[0], tuple, [&](TupleBatch&& b) -> Status {
+              if (field_fast) {
+                const TupleBatch::BoundColumn* col = b.Find(dep.field);
+                if (col == nullptr) return Status::OK();  // absent = ()
+                int64_t bytes = 0;
+                for (size_t i = 0; i < b.rows(); ++i) {
+                  const Sequence& v = b.Value(*col, i);
+                  bytes += ApproxBytes(v);
+                  out.insert(out.end(), v.begin(), v.end());
+                }
+                return mem.Grow(bytes);
+              }
+              for (size_t i = 0; i < b.rows(); ++i) {
+                XQTP_ASSIGN_OR_RETURN(
+                    Sequence part, EvalItem(dep, RowView(&b, i), nullptr));
+                XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
+                out.insert(out.end(), part.begin(), part.end());
+              }
+              return Status::OK();
+            }));
         return out;
       }
       case OpKind::kFnCall:
@@ -306,8 +344,7 @@ class Evaluator {
     return Status::Internal("unreachable operator kind");
   }
 
-  Result<Sequence> EvalFnCall(const Op& op, const Tuple* tuple,
-                              const Item* item) {
+  Result<Sequence> EvalFnCall(const Op& op, RowView tuple, const Item* item) {
     XQTP_FAULT_POINT("exec.fn_call");
     std::vector<Sequence> args;
     args.reserve(op.inputs.size());
@@ -318,19 +355,196 @@ class Evaluator {
     return ApplyCoreFn(op.fn, args);
   }
 
-  /// Evaluates a tuple plan. `ambient` is the enclosing tuple for plans
-  /// rooted at IN (rule (a) rewrites).
-  Result<TupleSeq> EvalTuples(const Op& op, const Tuple* ambient) {
+  // ------------------------------------------------------------------
+  // Columnar batch pipeline (TupleExecMode::kBatch, the default).
+
+  /// Yields one batch downstream: counts it, gives the governor its
+  /// per-BATCH poll (row-mode loops polled per row via the operator
+  /// stride), and charges the batch's bytes for the duration of the
+  /// downstream processing. Empty batches are dropped here so kernels
+  /// never see them.
+  Status Emit(const BatchSink& sink, TupleBatch&& b) {
+    if (b.rows() == 0) return Status::OK();
+    CountBatch();
+    XQTP_RETURN_NOT_OK(GovernorPoll());
+    ScopedMemoryCharge mem;
+    XQTP_RETURN_NOT_OK(mem.Grow(b.ApproxBytes()));
+    return sink(std::move(b));
+  }
+
+  /// Evaluates a tuple plan as a stream of TupleBatches pushed into
+  /// `sink` — no intermediate TupleSeq is ever materialized. `ambient`
+  /// is the enclosing tuple context for plans rooted at IN (rule (a)
+  /// rewrites); inside a batch kernel it is a view of the outer batch's
+  /// current row.
+  Status EvalTupleBatches(const Op& op, RowView ambient,
+                          const BatchSink& sink) {
+    switch (op.kind) {
+      case OpKind::kInputTuple: {
+        if (!ambient.valid()) {
+          return Status::Internal("IN (tuple) used outside a tuple context");
+        }
+        // Batch-backed ambient rows become a shared-column selection of
+        // one — the dominant dependent-plan case copies nothing.
+        return Emit(sink, ambient.ToBatch());
+      }
+      case OpKind::kMapFromItem: {
+        XQTP_ASSIGN_OR_RETURN(Sequence items,
+                              EvalItem(*op.inputs[0], ambient, nullptr));
+        const Op& dep = *op.dep;
+        // The normalizer's MapFromItem dependents are almost always the
+        // identity (IN as item): build the column straight from the
+        // input items without a per-item plan walk.
+        const bool identity =
+            dep.kind == OpKind::kInputItem &&
+            !(opts_.check_inferred_props && dep.props.Any());
+        const size_t target =
+            static_cast<size_t>(std::max(1, opts_.tuple_batch_rows));
+        for (size_t begin = 0; begin < items.size(); begin += target) {
+          const size_t end = std::min(items.size(), begin + target);
+          TupleColumn col;
+          col.field = op.field;
+          col.values.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            if (identity) {
+              col.values.push_back(Sequence{items[i]});
+            } else {
+              XQTP_ASSIGN_OR_RETURN(Sequence v,
+                                    EvalItem(dep, ambient, &items[i]));
+              col.values.push_back(std::move(v));
+            }
+          }
+          TupleBatch b(end - begin);
+          b.AddOwnedColumn(std::move(col));
+          CountTuplesMaterialized(static_cast<int64_t>(end - begin));
+          XQTP_RETURN_NOT_OK(Emit(sink, std::move(b)));
+        }
+        return Status::OK();
+      }
+      case OpKind::kSelect: {
+        return EvalTupleBatches(
+            *op.inputs[0], ambient, [&](TupleBatch&& in) -> Status {
+              std::vector<uint32_t> keep;
+              keep.reserve(in.rows());
+              for (size_t i = 0; i < in.rows(); ++i) {
+                XQTP_ASSIGN_OR_RETURN(
+                    Sequence pred,
+                    EvalItem(*op.dep, RowView(&in, i), nullptr));
+                XQTP_ASSIGN_OR_RETURN(bool k,
+                                      xdm::EffectiveBooleanValue(pred));
+                if (k) keep.push_back(static_cast<uint32_t>(i));
+              }
+              if (keep.empty()) return Status::OK();
+              // All rows kept: forward the batch itself. Otherwise yield
+              // a selection view — columns shared, zero sequences copied.
+              if (keep.size() == in.rows()) return Emit(sink, std::move(in));
+              return Emit(sink, in.SelectRows(keep));
+            });
+      }
+      case OpKind::kTupleTreePattern: {
+        if (par_ != nullptr) {
+          // The wide-input morselization decision needs the total row
+          // count, so the pattern is a pipeline breaker when a parallel
+          // context exists — exactly like row mode, which materialized
+          // its whole input too. Shared columns make the Append cheap.
+          TupleBatch all;
+          XQTP_RETURN_NOT_OK(EvalTupleBatches(
+              *op.inputs[0], ambient, [&](TupleBatch&& b) -> Status {
+                all.Append(std::move(b));
+                return Status::OK();
+              }));
+          if (all.rows() >= static_cast<size_t>(par_->min_fanout)) {
+            XQTP_ASSIGN_OR_RETURN(
+                TupleBatch out,
+                EvalPatternTuplesParallel(op.tp, all, opts_.algo, *par_));
+            return Emit(sink, std::move(out));
+          }
+          return EvalPatternBatch(op, all, sink);
+        }
+        // No parallel context: stream batch-in, batch-out.
+        return EvalTupleBatches(
+            *op.inputs[0], ambient, [&](TupleBatch&& in) -> Status {
+              return EvalPatternBatch(op, in, sink);
+            });
+      }
+      default:
+        return Status::Internal("item plan evaluated in tuple context");
+    }
+  }
+
+  /// Sequential TupleTreePattern kernel over one input batch: the
+  /// context field is resolved once per batch, each row's bindings land
+  /// in a PatternBatchBuilder (single-row inputs broadcast their
+  /// unmodified fields — zero replication for the dominant
+  /// root-in-one-tuple plan).
+  Status EvalPatternBatch(const Op& op, const TupleBatch& in,
+                          const BatchSink& sink) {
+    if (in.rows() == 0) return Status::OK();
+    const TupleBatch::BoundColumn* ctx_col = in.Find(op.tp.input_field);
+    if (ctx_col == nullptr) {
+      return Status::Internal(
+          "TupleTreePattern input tuple lacks the context field");
+    }
+    PatternBatchBuilder builder(in);
+    ScopedMemoryCharge mem;
+    for (size_t i = 0; i < in.rows(); ++i) {
+      XQTP_ASSIGN_OR_RETURN(
+          std::vector<BindingRow> rows,
+          EvalPattern(op.tp, in.Value(*ctx_col, i), opts_.algo, par_.get()));
+      XQTP_RETURN_NOT_OK(
+          mem.Grow(static_cast<int64_t>(rows.size() * sizeof(BindingRow))));
+      for (const BindingRow& row : rows) builder.Add(i, row);
+    }
+    if (builder.rows() == 0) return Status::OK();
+    return Emit(sink, builder.Finish());
+  }
+
+  // ------------------------------------------------------------------
+  // Row-at-a-time reference path (TupleExecMode::kRow). Kept verbatim as
+  // the differential baseline for the cross-check oracle and bench_batch;
+  // every whole-TupleSeq materialization below is intentional.
+
+  Result<Sequence> MapToItemRow(const Op& op, RowView tuple) {
+    // Recover the native Tuple (row mode never builds batches, so the
+    // view is Tuple-backed or invalid — Materialize is a safety net).
+    Tuple scratch;
+    const Tuple* ambient = nullptr;
+    if (tuple.valid()) {
+      ambient = tuple.AsTuple();
+      if (ambient == nullptr) {
+        scratch = tuple.Materialize();
+        ambient = &scratch;
+      }
+    }
+    // lint:allow(tupleseq-materialization, reason=kRow reference path)
+    XQTP_ASSIGN_OR_RETURN(TupleSeq tuples,
+                          EvalTuplesRow(*op.inputs[0], ambient));
+    Sequence out;
+    ScopedMemoryCharge mem;
+    for (const Tuple& t : tuples) {
+      XQTP_ASSIGN_OR_RETURN(Sequence part, EvalItem(*op.dep, &t, nullptr));
+      XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(part)));
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  /// Evaluates a tuple plan by materializing every intermediate tuple
+  /// sequence. `ambient` is the enclosing tuple for plans rooted at IN.
+  // lint:allow(tupleseq-materialization, reason=kRow reference path)
+  Result<TupleSeq> EvalTuplesRow(const Op& op, const Tuple* ambient) {
     switch (op.kind) {
       case OpKind::kInputTuple: {
         if (ambient == nullptr) {
           return Status::Internal("IN (tuple) used outside a tuple context");
         }
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
         return TupleSeq{*ambient};
       }
       case OpKind::kMapFromItem: {
         XQTP_ASSIGN_OR_RETURN(Sequence items,
                               EvalItem(*op.inputs[0], ambient, nullptr));
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
         TupleSeq out;
         out.reserve(items.size());
         ScopedMemoryCharge mem;
@@ -340,12 +554,15 @@ class Evaluator {
                                 EvalItem(*op.dep, ambient, &it));
           t.Set(op.field, std::move(value));
           XQTP_RETURN_NOT_OK(mem.Grow(ApproxBytes(t)));
+          CountTuplesMaterialized(1);
           out.push_back(std::move(t));
         }
         return out;
       }
       case OpKind::kSelect: {
-        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
+        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuplesRow(*op.inputs[0], ambient));
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
         TupleSeq out;
         ScopedMemoryCharge mem;
         for (Tuple& t : in) {
@@ -358,14 +575,21 @@ class Evaluator {
         return out;
       }
       case OpKind::kTupleTreePattern: {
-        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuples(*op.inputs[0], ambient));
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
+        XQTP_ASSIGN_OR_RETURN(TupleSeq in, EvalTuplesRow(*op.inputs[0], ambient));
         // Wide tuple inputs morselize at the tuple level; the common
         // optimized plan (one tuple holding the document root) instead
         // morselizes inside EvalPattern via the root fan-out strategy.
         if (par_ != nullptr &&
             in.size() >= static_cast<size_t>(par_->min_fanout)) {
-          return EvalPatternTuplesParallel(op.tp, in, opts_.algo, *par_);
+          // The morsel driver is batch-native now; bridge in and out.
+          TupleBatch inb = TupleBatch::FromTuples(in);
+          XQTP_ASSIGN_OR_RETURN(
+              TupleBatch outb,
+              EvalPatternTuplesParallel(op.tp, inb, opts_.algo, *par_));
+          return outb.ToTuples();
         }
+        // lint:allow(tupleseq-materialization, reason=kRow reference path)
         TupleSeq out;
         ScopedMemoryCharge mem;
         for (const Tuple& t : in) {
@@ -384,6 +608,7 @@ class Evaluator {
             for (const auto& [sym, node] : row.fields) {
               nt.Set(sym, Sequence{Item(node)});
             }
+            CountTuplesMaterialized(1);
             out.push_back(std::move(nt));
           }
         }

@@ -8,10 +8,13 @@
 
 namespace xqtp::exec {
 
+using xqtp::CountBatch;
+using xqtp::CountCowColumnCopies;
 using xqtp::CountIndexEntries;
 using xqtp::CountIndexSkip;
 using xqtp::CountNodesVisited;
 using xqtp::CountPatternEval;
+using xqtp::CountTuplesMaterialized;
 using xqtp::CurrentExecStats;
 using xqtp::ExecStats;
 using xqtp::ScopedExecStats;

@@ -1,7 +1,8 @@
 // Query resource governance: a per-execution QueryGovernor holding a
 // monotonic deadline, an externally triggerable cancellation token, and a
 // byte-accounted memory budget, checked COOPERATIVELY — on a stride at
-// operator boundaries in the evaluator, on a stride inside the
+// operator boundaries in the evaluator, once per TupleBatch (not per
+// row) in the columnar tuple pipeline, on a stride inside the
 // pattern-evaluation inner loops, per morsel in the parallel driver,
 // and once per fixpoint round in the rewriter/optimizer so compilation
 // of adversarial queries is bounded too. There is no preemption: a
@@ -172,7 +173,9 @@ class GovernorTicker {
 /// the destructor releases everything still charged — so a query that
 /// trips any limit mid-accumulation unwinds back to zero accounted bytes
 /// and the governor can be reused (no partial-result leak in the
-/// accountant). Charges are batched locally and flushed to the shared
+/// accountant). The columnar tuple pipeline charges once per produced
+/// TupleBatch (TupleBatch::ApproxBytes); row-mode loops charge per
+/// materialized tuple/sequence. Charges are batched locally and flushed to the shared
 /// accountant every kFlushBytes (per-part charges in the evaluator's
 /// accumulation loops would otherwise pay an atomic RMW per tuple —
 /// measurable on cheap plans, see bench_governor). The accounting

@@ -433,31 +433,117 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
   return true;
 }
 
-Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
-                                           const TupleSeq& in,
-                                           PatternAlgo algo,
-                                           const ParallelContext& par) {
-  // Pre-warm every document reachable from the input tuples' context
-  // fields before fanning out.
+PatternBatchBuilder::PatternBatchBuilder(const TupleBatch& in)
+    : in_(in), broadcast_(in.rows() == 1) {
+  if (!broadcast_) {
+    cols_.reserve(in.column_count());
+    for (size_t c = 0; c < in.column_count(); ++c) {
+      cols_.push_back(
+          Col{in.columns()[c].column->field, static_cast<int>(c), {}});
+    }
+  }
+}
+
+PatternBatchBuilder::Col* PatternBatchBuilder::FindCol(Symbol field) {
+  for (Col& c : cols_) {
+    if (c.field == field) return &c;
+  }
+  return nullptr;
+}
+
+void PatternBatchBuilder::EnsureBindingColumn(Symbol field, size_t row) {
+  if (FindCol(field) != nullptr) return;
+  Col col;
+  col.field = field;
+  col.src = -1;
+  if (broadcast_) {
+    // A binding that overwrites an input field forces that column off the
+    // shared path: materialize it (the copy-on-write "write"), keeping
+    // the input value as the per-row default exactly like Tuple::Set.
+    for (size_t c = 0; c < in_.column_count(); ++c) {
+      if (in_.columns()[c].column->field == field) {
+        col.src = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+  col.values.assign(rows_, col.src >= 0
+                               ? in_.Value(in_.columns()[col.src], row)
+                               : xdm::Sequence{});
+  cols_.push_back(std::move(col));
+}
+
+void PatternBatchBuilder::Add(size_t row, const BindingRow& brow) {
+  for (const auto& [sym, node] : brow.fields) EnsureBindingColumn(sym, row);
+  for (Col& c : cols_) {
+    if (c.src >= 0) {
+      c.values.push_back(in_.Value(in_.columns()[c.src], row));
+    } else {
+      c.values.emplace_back();
+    }
+  }
+  for (const auto& [sym, node] : brow.fields) {
+    FindCol(sym)->values.back() = xdm::Sequence{xdm::Item(node)};
+  }
+  ++rows_;
+}
+
+TupleBatch PatternBatchBuilder::Finish() {
+  TupleBatch out(rows_);
+  if (broadcast_) {
+    for (size_t c = 0; c < in_.column_count(); ++c) {
+      const TupleBatch::BoundColumn& bc = in_.columns()[c];
+      if (FindCol(bc.column->field) != nullptr) continue;  // overwritten
+      if (bc.column->values.size() == 1) {
+        // The input column has exactly one physical value — share it.
+        out.AddBroadcastColumn(bc.column);
+      } else {
+        // Single logical row selected out of a wider column: one copy of
+        // one value, still broadcast to every output row.
+        TupleColumn one;
+        one.field = bc.column->field;
+        one.values.push_back(in_.Value(bc, 0));
+        out.AddBroadcastColumn(MakeColumn(std::move(one)));
+      }
+    }
+  }
+  for (Col& c : cols_) {
+    TupleColumn col;
+    col.field = c.field;
+    col.values = std::move(c.values);
+    out.AddOwnedColumn(std::move(col));
+  }
+  CountTuplesMaterialized(static_cast<int64_t>(rows_));
+  return out;
+}
+
+Result<TupleBatch> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
+                                             const TupleBatch& in,
+                                             PatternAlgo algo,
+                                             const ParallelContext& par) {
+  // Pre-warm every document reachable from the input rows' context field
+  // before fanning out. One Find per batch, not one Get per row.
+  const TupleBatch::BoundColumn* ctx_col = in.Find(tp.input_field);
   std::vector<const Document*> docs;
-  for (const Tuple& t : in) {
-    const xdm::Sequence* ctx = t.Get(tp.input_field);
-    if (ctx == nullptr) continue;
-    for (const xdm::Item& it : *ctx) {
-      if (!it.IsNode()) continue;
-      if (std::find(docs.begin(), docs.end(), it.node()->doc) == docs.end()) {
-        docs.push_back(it.node()->doc);
-        PrewarmPatternIndexes(*it.node()->doc, tp, algo);
+  if (ctx_col != nullptr) {
+    for (size_t i = 0; i < in.rows(); ++i) {
+      for (const xdm::Item& it : in.Value(*ctx_col, i)) {
+        if (!it.IsNode()) continue;
+        if (std::find(docs.begin(), docs.end(), it.node()->doc) ==
+            docs.end()) {
+          docs.push_back(it.node()->doc);
+          PrewarmPatternIndexes(*it.node()->doc, tp, algo);
+        }
       }
     }
   }
 
   ParallelContext eff = par;
-  eff.threads = ClampParallelThreads(in.size(), par.threads, par.min_fanout);
-  std::vector<MorselRange> morsels = PlanMorsels(in.size(), eff);
+  eff.threads = ClampParallelThreads(in.rows(), par.threads, par.min_fanout);
+  std::vector<MorselRange> morsels = PlanMorsels(in.rows(), eff);
   ThreadPool* pool = par.pool ? par.pool(eff.threads) : nullptr;
   struct Part {
-    Result<TupleSeq> tuples = TupleSeq{};
+    Result<TupleBatch> batch = TupleBatch{};
   };
   std::vector<Part> parts(morsels.size());
   std::vector<ExecStats> stats_slots(morsels.size());
@@ -467,39 +553,32 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
     std::optional<StringInterner::ExecutionFreeze> freeze;
     if (!docs.empty()) freeze.emplace(*docs.front()->interner());
     const MorselRange& mr = morsels[static_cast<size_t>(m)];
-    TupleSeq out;
+    // Workers only READ the shared input batch (immutable columns) and
+    // write into their own builder — no synchronization beyond the pool's.
+    PatternBatchBuilder builder(in);
     Status err = GovernorPoll();  // observe cancellation between morsels
 #if XQTP_FAULT_INJECTION
     if (err.ok()) err = fault::Poll("exec.parallel.morsel");
 #endif
+    if (err.ok() && ctx_col == nullptr) {
+      err = Status::Internal(
+          "TupleTreePattern input tuple lacks the context field");
+    }
     for (size_t i = mr.begin; i < mr.end && err.ok(); ++i) {
-      const Tuple& t = in[i];
-      const xdm::Sequence* ctx = t.Get(tp.input_field);
-      if (ctx == nullptr) {
-        err = Status::Internal(
-            "TupleTreePattern input tuple lacks the context field");
-        break;
-      }
       // par == nullptr: tuple-level workers must not nest into the pool
       // (ThreadPool::Run is non-reentrant). EvalPattern still counts one
-      // pattern evaluation per tuple, exactly like the sequential loop.
+      // pattern evaluation per row, exactly like the sequential loop.
       Result<std::vector<BindingRow>> rows =
-          EvalPattern(tp, *ctx, algo, nullptr);
+          EvalPattern(tp, in.Value(*ctx_col, i), algo, nullptr);
       if (!rows.ok()) {
         err = rows.status();
         break;
       }
-      for (const BindingRow& row : *rows) {
-        Tuple nt = t;
-        for (const auto& [sym, node] : row.fields) {
-          nt.Set(sym, xdm::Sequence{xdm::Item(node)});
-        }
-        out.push_back(std::move(nt));
-      }
+      for (const BindingRow& row : *rows) builder.Add(i, row);
     }
-    parts[static_cast<size_t>(m)].tuples =
-        err.ok() ? Result<TupleSeq>(std::move(out))
-                 : Result<TupleSeq>(std::move(err));
+    parts[static_cast<size_t>(m)].batch =
+        err.ok() ? Result<TupleBatch>(builder.Finish())
+                 : Result<TupleBatch>(std::move(err));
     stats_slots[static_cast<size_t>(m)] = scope.stats();
   };
   if (pool != nullptr && morsels.size() >= 2) {
@@ -513,16 +592,13 @@ Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
   MergeWorkerStats(stats_slots);
 
   for (Part& p : parts) {
-    if (!p.tuples.ok()) return p.tuples.status();
+    if (!p.batch.ok()) return p.batch.status();
   }
-  size_t total = 0;
-  for (const Part& p : parts) total += p.tuples->size();
-  TupleSeq out;
-  out.reserve(total);
-  for (Part& p : parts) {
-    TupleSeq part = std::move(p.tuples).value();
-    std::move(part.begin(), part.end(), std::back_inserter(out));
-  }
+  // Concatenate in input-row order. Each morsel's columns are uniquely
+  // owned, so Append moves the sequences; empty morsel batches (no
+  // matches in the range) are skipped inside Append.
+  TupleBatch out;
+  for (Part& p : parts) out.Append(std::move(p.batch).value());
   return out;
 }
 

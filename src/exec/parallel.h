@@ -138,16 +138,67 @@ bool TryEvalPatternParallel(const pattern::TreePattern& tp,
                             const ParallelContext& par,
                             Result<std::vector<BindingRow>>* out);
 
+/// Builds a TupleTreePattern's output batch from binding rows, with
+/// Tuple::Set overwrite semantics per row: the schema is the input
+/// batch's columns in order (a binding field naming an input column
+/// replaces its value), followed by the pattern's new binding fields in
+/// first-seen order. Rows added before a binding field first appears
+/// read it as the empty sequence — indistinguishable from the row-mode
+/// Tuple that simply lacks the field.
+///
+/// When the input batch has exactly one logical row (the dominant
+/// optimized plan: one tuple carrying the document root), input columns
+/// that no binding overwrites are NOT replicated per output row — Finish
+/// attaches them as broadcast columns sharing the input's storage, so a
+/// root fan-out producing 10^5 binding rows copies zero input sequences.
+class PatternBatchBuilder {
+ public:
+  explicit PatternBatchBuilder(const TupleBatch& in);
+
+  /// Appends one output row: input row `row`'s fields overlaid with
+  /// `brow`'s bindings (each bound node as a singleton sequence).
+  void Add(size_t row, const BindingRow& brow);
+
+  size_t rows() const { return rows_; }
+
+  /// Assembles the batch (counts rows() materialized tuples; the
+  /// ExecStats batch count is taken where the batch is YIELDED between
+  /// operators, so internal morsel batches don't inflate it). The
+  /// builder is consumed.
+  TupleBatch Finish();
+
+ private:
+  struct Col {
+    Symbol field;
+    /// Input column gathered as the row default, or -1 (binding-only,
+    /// defaults to the empty sequence).
+    int src;
+    std::vector<xdm::Sequence> values;
+  };
+
+  Col* FindCol(Symbol field);
+  void EnsureBindingColumn(Symbol field, size_t row);
+
+  const TupleBatch& in_;
+  /// Single-row input: input columns stay shared (broadcast) unless a
+  /// binding overwrites them.
+  bool broadcast_;
+  std::vector<Col> cols_;
+  size_t rows_ = 0;
+};
+
 /// Morsel-parallel evaluation of one TupleTreePattern operator over a
-/// materialized input tuple sequence: tuple ranges become morsels, each
-/// tuple is evaluated with the sequential algorithm, and outputs are
-/// concatenated in input-tuple order (exactly the sequential loop's
-/// order). The caller has checked in.size() >= par.min_fanout.
+/// materialized input batch: logical row ranges become morsels, each row
+/// is evaluated with the sequential algorithm into a PatternBatchBuilder,
+/// and the per-morsel batches are concatenated in input-row order
+/// (exactly the sequential loop's order — TupleBatch::Append moves the
+/// uniquely-owned morsel columns). The caller has checked
+/// in.rows() >= par.min_fanout.
 [[nodiscard]]
-Result<TupleSeq> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
-                                           const TupleSeq& in,
-                                           PatternAlgo algo,
-                                           const ParallelContext& par);
+Result<TupleBatch> EvalPatternTuplesParallel(const pattern::TreePattern& tp,
+                                             const TupleBatch& in,
+                                             PatternAlgo algo,
+                                             const ParallelContext& par);
 
 /// Number of pattern evaluations that actually fanned out to a worker
 /// pool since process start (either morselization strategy, context- or

@@ -1,9 +1,31 @@
-// Tuples flowing through the tuple algebra: ordered field -> sequence maps.
-// Plans manipulate a handful of fields, so a small sorted vector wins over a
-// hash map.
+// Tuples flowing through the tuple algebra, in two physical shapes:
+//
+//  - Tuple / TupleSeq: one row as an ordered field -> sequence map. Plans
+//    manipulate a handful of fields, so a small vector wins over a hash
+//    map. This is the row-at-a-time representation, kept as the
+//    differential reference (exec::TupleExecMode::kRow) and as the bridge
+//    type for code that needs one materialized row.
+//
+//  - TupleBatch: ~1024 rows in structure-of-arrays layout — one
+//    TupleColumn (a vector of sequences) per field, columns shared
+//    copy-on-write across operators via shared_ptr<const TupleColumn>,
+//    plus a selection vector so Select filters WITHOUT copying a single
+//    sequence and a per-column broadcast flag so a pattern that expands
+//    one input tuple into thousands of binding rows replicates the input
+//    fields by reference, not by value. The batch evaluator
+//    (exec/evaluator.cc) streams these between pipeline-able operators
+//    instead of materializing whole TupleSeq intermediates.
+//
+// Thread-safety: a TupleBatch is immutable through the shared columns
+// (shared_ptr<const ...>), so any number of threads may read one batch —
+// or sibling batches sharing columns — concurrently. Mutating calls
+// (Flatten / Append / Add*Column) require exclusive ownership of the
+// TupleBatch object itself, like any value type.
 #ifndef XQTP_EXEC_TUPLE_H_
 #define XQTP_EXEC_TUPLE_H_
 
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -12,12 +34,13 @@
 
 namespace xqtp::exec {
 
-/// One algebra tuple.
+/// One algebra tuple (row representation).
 class Tuple {
  public:
   Tuple() = default;
 
-  /// Sets (or overwrites) a field.
+  /// Sets (or overwrites) a field. The incoming sequence is moved into
+  /// place on both the insert and the overwrite path — Set never copies.
   void Set(Symbol field, xdm::Sequence value);
 
   /// Returns the field's value, or nullptr if absent.
@@ -35,6 +58,168 @@ class Tuple {
 };
 
 using TupleSeq = std::vector<Tuple>;
+
+/// One column of a TupleBatch: a field symbol plus one sequence per
+/// physical row. Immutable once wrapped in a TupleColumnPtr; batches
+/// share columns by reference.
+struct TupleColumn {
+  Symbol field = kInvalidSymbol;
+  std::vector<xdm::Sequence> values;
+};
+
+using TupleColumnPtr = std::shared_ptr<const TupleColumn>;
+
+/// The one way to wrap a column for sharing. The object is allocated
+/// non-const (then viewed const), so a sole owner may legally reopen it
+/// to move values out (TupleBatch::Append's steal path).
+inline TupleColumnPtr MakeColumn(TupleColumn col) {
+  return std::make_shared<TupleColumn>(std::move(col));
+}
+
+/// A batch of tuples in columnar (structure-of-arrays) layout.
+///
+/// Logical vs physical rows: columns store `physical_rows()` sequences;
+/// an optional selection vector maps the batch's `rows()` LOGICAL rows to
+/// physical indices (absent = identity). A broadcast column holds exactly
+/// one physical value served to every logical row — the zero-copy
+/// replication used when a tree pattern fans one input tuple out into
+/// many binding rows.
+class TupleBatch {
+ public:
+  struct BoundColumn {
+    TupleColumnPtr column;
+    /// One physical value (values[0]) serves every logical row; the
+    /// selection vector does not apply to this column.
+    bool broadcast = false;
+  };
+
+  TupleBatch() = default;
+  /// A batch of `physical_rows` rows with no columns yet (a tuple with
+  /// zero fields is legal — kInputTuple over an empty ambient tuple).
+  explicit TupleBatch(size_t physical_rows) : physical_rows_(physical_rows) {}
+
+  /// Bridges a materialized row sequence into columnar layout (counts
+  /// ExecStats::tuples_materialized once per row).
+  static TupleBatch FromTuples(const TupleSeq& tuples);
+
+  /// Logical row count (selection applied).
+  size_t rows() const { return sel_ ? sel_->size() : physical_rows_; }
+  size_t physical_rows() const { return physical_rows_; }
+  bool empty() const { return rows() == 0; }
+  size_t column_count() const { return columns_.size(); }
+  const std::vector<BoundColumn>& columns() const { return columns_; }
+
+  /// Physical index of logical row `i` (broadcast columns ignore it).
+  uint32_t physical(size_t i) const {
+    return sel_ ? (*sel_)[i] : static_cast<uint32_t>(i);
+  }
+
+  /// The column bound to `field`, or nullptr. Resolve once per batch —
+  /// this is the per-batch symbol lookup that replaces the per-row
+  /// Tuple::Get scan.
+  const BoundColumn* Find(Symbol field) const;
+
+  /// The sequence `column` holds for logical row `i`.
+  const xdm::Sequence& Value(const BoundColumn& column, size_t i) const {
+    return column.broadcast ? column.column->values[0]
+                            : column.column->values[physical(i)];
+  }
+
+  /// The field's sequence at logical row `i`, or nullptr if the field is
+  /// absent (an absent field reads as the empty sequence).
+  const xdm::Sequence* Get(size_t i, Symbol field) const;
+
+  /// Appends a column owned by this batch (values.size() must equal
+  /// physical_rows(), asserted in debug builds).
+  void AddOwnedColumn(TupleColumn column);
+  /// Appends a column shared with another batch (same length contract).
+  void AddSharedColumn(TupleColumnPtr column);
+  /// Appends a single-value column broadcast to every logical row.
+  void AddBroadcastColumn(TupleColumnPtr column);
+
+  /// A filtered view of this batch: `keep` lists LOGICAL row indices (in
+  /// order, possibly with repeats). Every column is shared — this is the
+  /// zero-copy Select. The result's selection composes with this batch's.
+  [[nodiscard]]
+  TupleBatch SelectRows(const std::vector<uint32_t>& keep) const;
+
+  /// Materializes one logical row as a Tuple — the row bridge for code
+  /// that needs a real Tuple (counts ExecStats::tuples_materialized).
+  Tuple MaterializeRow(size_t i) const;
+  /// Materializes every logical row (bridge out of the batch world).
+  TupleSeq ToTuples() const;
+
+  /// Rewrites the batch to identity selection with fully owned, non-
+  /// broadcast columns, gathering through the selection vector. Each
+  /// column that had to be deep-copied (it was shared, filtered, or
+  /// broadcast) counts one ExecStats::cow_column_copies.
+  void Flatten();
+
+  /// Appends `other`'s rows to this batch. Schemas must match (same
+  /// fields in the same column order). Both batches are flattened first;
+  /// `other`'s sequences are moved, not copied, when uniquely owned.
+  void Append(TupleBatch&& other);
+
+  /// Approximate heap footprint for the governor's byte accountant:
+  /// per-row sequence items at sizeof(Item), broadcast columns counted
+  /// once, plus the selection vector. Shared columns are counted by
+  /// every sharing batch (conservative, like the rest of the accounting).
+  int64_t ApproxBytes() const;
+
+ private:
+  /// Moves (sole owner) or copies (shared — counts one cow_column_copies)
+  /// a flat column's values into `into`, then releases `from`.
+  static void MoveColumnValues(BoundColumn& from, TupleColumn* into);
+
+  size_t physical_rows_ = 0;
+  std::vector<BoundColumn> columns_;
+  /// Logical -> physical row map; null = identity over physical rows.
+  std::shared_ptr<const std::vector<uint32_t>> sel_;
+};
+
+/// Read-only view of one logical tuple: either a materialized Tuple or
+/// one row of a TupleBatch. This is what dependent item plans see as IN —
+/// EvalItem call sites written against `const Tuple*` keep working
+/// through the implicit conversion; batch kernels pass (batch, row)
+/// without materializing anything.
+class RowView {
+ public:
+  RowView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): the row bridge is
+  // intentionally implicit so `const Tuple*` call sites compile unchanged.
+  RowView(const Tuple* tuple) : tuple_(tuple) {}
+  RowView(const TupleBatch* batch, size_t row) : batch_(batch), row_(row) {}
+
+  /// False when there is no tuple context at all (the old nullptr).
+  bool valid() const { return tuple_ != nullptr || batch_ != nullptr; }
+
+  /// The field's sequence, or nullptr if absent.
+  const xdm::Sequence* Get(Symbol field) const {
+    if (tuple_ != nullptr) return tuple_->Get(field);
+    if (batch_ != nullptr) return batch_->Get(row_, field);
+    return nullptr;
+  }
+
+  /// Materializes the viewed row as a Tuple (the bridge for row-mode
+  /// code; counts ExecStats::tuples_materialized when it copies).
+  Tuple Materialize() const;
+
+  /// The wrapped Tuple, or nullptr when the view is batch-backed (or
+  /// invalid). Row-mode code uses this to recover its native shape
+  /// without a copy.
+  const Tuple* AsTuple() const { return tuple_; }
+
+  /// A one-row TupleBatch viewing this row. Batch-backed rows share the
+  /// batch's columns (zero copy — a selection of one); Tuple-backed rows
+  /// build owned single-value columns (counts one tuples_materialized).
+  /// An invalid view yields the empty batch.
+  TupleBatch ToBatch() const;
+
+ private:
+  const Tuple* tuple_ = nullptr;
+  const TupleBatch* batch_ = nullptr;
+  size_t row_ = 0;
+};
 
 }  // namespace xqtp::exec
 

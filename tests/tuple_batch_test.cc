@@ -1,0 +1,345 @@
+// Columnar TupleBatch unit tests: selection-vector edge cases (empty
+// batch, all-filtered, composed selections), copy-on-write column
+// sharing (including concurrent readers over aliased columns — the TSan
+// leg runs this binary), the row-view bridge, and the engine-level
+// row-vs-batch differential with its ExecStats counters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/evaluator.h"
+#include "exec/exec_stats.h"
+#include "exec/tuple.h"
+#include "workload/xmark_gen.h"
+#include "workload/xmark_queries.h"
+
+namespace xqtp::exec {
+namespace {
+
+using xdm::Item;
+using xdm::Sequence;
+
+Symbol Sym(uint32_t v) { return static_cast<Symbol>(v); }
+
+/// A batch of `n` rows with one int column `field`, values 0..n-1.
+TupleBatch IntBatch(Symbol field, size_t n) {
+  TupleBatch b(n);
+  TupleColumn col;
+  col.field = field;
+  for (size_t i = 0; i < n; ++i) {
+    col.values.push_back(Sequence{Item(static_cast<int64_t>(i))});
+  }
+  b.AddOwnedColumn(std::move(col));
+  return b;
+}
+
+int64_t IntAt(const TupleBatch& b, size_t row, Symbol field) {
+  const Sequence* v = b.Get(row, field);
+  EXPECT_NE(v, nullptr);
+  EXPECT_EQ(v->size(), 1u);
+  return (*v)[0].integer();
+}
+
+TEST(TupleBatchTest, EmptyBatch) {
+  TupleBatch b;
+  EXPECT_EQ(b.rows(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Find(Sym(1)), nullptr);
+  EXPECT_TRUE(b.ToTuples().empty());
+  b.Flatten();  // no-op, no crash
+  EXPECT_EQ(b.rows(), 0u);
+
+  // FromTuples of no rows is the empty batch with no columns.
+  TupleBatch from = TupleBatch::FromTuples({});
+  EXPECT_EQ(from.rows(), 0u);
+  EXPECT_EQ(from.column_count(), 0u);
+}
+
+TEST(TupleBatchTest, ZeroFieldRowsAreLegal) {
+  // kInputTuple over an ambient tuple with no fields: one row, no
+  // columns (the row exists; every field reads as absent).
+  TupleBatch b(1);
+  EXPECT_EQ(b.rows(), 1u);
+  EXPECT_EQ(b.Get(0, Sym(7)), nullptr);
+  TupleSeq rows = b.ToTuples();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].field_count(), 0u);
+}
+
+TEST(TupleBatchTest, SelectRowsIsZeroCopyAndComposes) {
+  TupleBatch b = IntBatch(Sym(1), 8);
+  const void* storage = b.columns()[0].column.get();
+
+  TupleBatch odd = b.SelectRows({1, 3, 5, 7});
+  EXPECT_EQ(odd.rows(), 4u);
+  EXPECT_EQ(odd.physical_rows(), 8u);
+  // The column is SHARED, not copied.
+  EXPECT_EQ(odd.columns()[0].column.get(), storage);
+  EXPECT_EQ(IntAt(odd, 0, Sym(1)), 1);
+  EXPECT_EQ(IntAt(odd, 3, Sym(1)), 7);
+
+  // Selecting out of a selected view composes through to physical rows.
+  TupleBatch second = odd.SelectRows({0, 2});
+  EXPECT_EQ(second.rows(), 2u);
+  EXPECT_EQ(second.columns()[0].column.get(), storage);
+  EXPECT_EQ(IntAt(second, 0, Sym(1)), 1);
+  EXPECT_EQ(IntAt(second, 1, Sym(1)), 5);
+
+  // Repeats are allowed (a view, not a set).
+  TupleBatch dup = odd.SelectRows({1, 1});
+  EXPECT_EQ(IntAt(dup, 0, Sym(1)), 3);
+  EXPECT_EQ(IntAt(dup, 1, Sym(1)), 3);
+}
+
+TEST(TupleBatchTest, AllFilteredSelection) {
+  TupleBatch b = IntBatch(Sym(1), 5);
+  TupleBatch none = b.SelectRows({});
+  EXPECT_EQ(none.rows(), 0u);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.physical_rows(), 5u);
+  EXPECT_TRUE(none.ToTuples().empty());
+  // Appending an all-filtered batch contributes nothing.
+  TupleBatch out = IntBatch(Sym(1), 2);
+  out.Append(std::move(none));
+  EXPECT_EQ(out.rows(), 2u);
+}
+
+TEST(TupleBatchTest, FlattenGathersThroughSelectionAndCountsCopies) {
+  ScopedExecStats scope;
+  TupleBatch b = IntBatch(Sym(1), 6);
+  TupleBatch view = b.SelectRows({4, 0, 2});
+  view.Flatten();
+  EXPECT_EQ(view.rows(), 3u);
+  EXPECT_EQ(view.physical_rows(), 3u);
+  EXPECT_EQ(IntAt(view, 0, Sym(1)), 4);
+  EXPECT_EQ(IntAt(view, 1, Sym(1)), 0);
+  EXPECT_EQ(IntAt(view, 2, Sym(1)), 2);
+  // The gather deep-copied one shared column — the copy-on-write write.
+  EXPECT_EQ(scope.stats().cow_column_copies, 1);
+  // Original is untouched.
+  EXPECT_EQ(IntAt(b, 4, Sym(1)), 4);
+
+  // Identity batches flatten for free.
+  int64_t before = scope.stats().cow_column_copies;
+  b.Flatten();
+  EXPECT_EQ(scope.stats().cow_column_copies, before);
+}
+
+TEST(TupleBatchTest, BroadcastColumnServesEveryRow) {
+  TupleBatch b = IntBatch(Sym(1), 4);
+  TupleColumn ctx;
+  ctx.field = Sym(2);
+  ctx.values.push_back(Sequence{Item(static_cast<int64_t>(42))});
+  b.AddBroadcastColumn(MakeColumn(std::move(ctx)));
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(IntAt(b, i, Sym(2)), 42);
+  // Selection vectors do not apply to broadcast columns.
+  TupleBatch view = b.SelectRows({3, 1});
+  EXPECT_EQ(IntAt(view, 0, Sym(2)), 42);
+  EXPECT_EQ(IntAt(view, 0, Sym(1)), 3);
+  // Flatten expands the broadcast into per-row storage.
+  view.Flatten();
+  EXPECT_EQ(view.physical_rows(), 2u);
+  EXPECT_EQ(IntAt(view, 1, Sym(2)), 42);
+  EXPECT_EQ(IntAt(view, 1, Sym(1)), 1);
+}
+
+TEST(TupleBatchTest, AppendMovesUniqueAndCopiesShared) {
+  ScopedExecStats scope;
+  TupleBatch out = IntBatch(Sym(1), 2);
+  out.Append(IntBatch(Sym(1), 3));  // uniquely owned: moved, no copy
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(scope.stats().cow_column_copies, 0);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(IntAt(out, 2 + i, Sym(1)), static_cast<int64_t>(i));
+  }
+
+  // A batch whose column is still shared with another batch must be
+  // deep-copied on append — the alias keeps reading its own storage.
+  TupleBatch base = IntBatch(Sym(1), 2);
+  TupleBatch alias = base.SelectRows({0, 1});
+  out.Append(std::move(alias));
+  EXPECT_EQ(out.rows(), 7u);
+  EXPECT_GT(scope.stats().cow_column_copies, 0);
+  EXPECT_EQ(IntAt(base, 1, Sym(1)), 1);  // survivor unaffected
+}
+
+TEST(TupleBatchTest, FromTuplesToTuplesRoundTrip) {
+  ScopedExecStats scope;
+  TupleSeq rows;
+  for (int64_t i = 0; i < 3; ++i) {
+    Tuple t;
+    t.Set(Sym(1), Sequence{Item(i)});
+    if (i == 1) t.Set(Sym(2), Sequence{Item(i * 10)});
+    rows.push_back(std::move(t));
+  }
+  TupleBatch b = TupleBatch::FromTuples(rows);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b.column_count(), 2u);  // union schema, first-seen order
+  EXPECT_EQ(scope.stats().tuples_materialized, 3);
+  // A row missing a field reads it as the empty sequence.
+  const Sequence* absent = b.Get(0, Sym(2));
+  ASSERT_NE(absent, nullptr);
+  EXPECT_TRUE(absent->empty());
+  EXPECT_EQ(IntAt(b, 1, Sym(2)), 10);
+
+  TupleSeq back = b.ToTuples();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ((*back[1].Get(Sym(1)))[0].integer(), 1);
+  EXPECT_EQ((*back[1].Get(Sym(2)))[0].integer(), 10);
+}
+
+TEST(RowViewTest, BridgesTupleAndBatchRows) {
+  Tuple t;
+  t.Set(Sym(1), Sequence{Item(static_cast<int64_t>(5))});
+  RowView from_tuple(&t);
+  EXPECT_TRUE(from_tuple.valid());
+  EXPECT_EQ(from_tuple.AsTuple(), &t);
+  ASSERT_NE(from_tuple.Get(Sym(1)), nullptr);
+  EXPECT_EQ((*from_tuple.Get(Sym(1)))[0].integer(), 5);
+
+  TupleBatch b = IntBatch(Sym(1), 4);
+  RowView from_batch(&b, 2);
+  EXPECT_TRUE(from_batch.valid());
+  EXPECT_EQ(from_batch.AsTuple(), nullptr);
+  EXPECT_EQ((*from_batch.Get(Sym(1)))[0].integer(), 2);
+  Tuple mat = from_batch.Materialize();
+  EXPECT_EQ((*mat.Get(Sym(1)))[0].integer(), 2);
+
+  // ToBatch on a batch-backed row shares the column (selection of one).
+  TupleBatch one = from_batch.ToBatch();
+  EXPECT_EQ(one.rows(), 1u);
+  EXPECT_EQ(one.columns()[0].column.get(), b.columns()[0].column.get());
+  EXPECT_EQ(IntAt(one, 0, Sym(1)), 2);
+
+  RowView invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.Get(Sym(1)), nullptr);
+  EXPECT_EQ(invalid.ToBatch().rows(), 0u);
+}
+
+// CoW aliasing under concurrency: two threads reading sibling batches
+// that share columns (one of them flattening its OWN view — a private
+// mutation over shared immutable storage) must be race-free. The TSan CI
+// leg runs this test; the assertions also pin down value correctness.
+TEST(TupleBatchTest, ConcurrentReadersOverSharedColumns) {
+  constexpr size_t kRows = 4096;
+  TupleBatch base = IntBatch(Sym(1), kRows);
+  std::vector<uint32_t> evens, odds;
+  for (uint32_t i = 0; i < kRows; i += 2) evens.push_back(i);
+  for (uint32_t i = 1; i < kRows; i += 2) odds.push_back(i);
+  TupleBatch even_view = base.SelectRows(evens);
+  TupleBatch odd_view = base.SelectRows(odds);
+
+  std::thread reader([&]() {
+    int64_t sum = 0;
+    for (size_t round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < even_view.rows(); ++i) {
+        sum += (*even_view.Get(i, Sym(1)))[0].integer();
+      }
+    }
+    EXPECT_EQ(sum, 4 * static_cast<int64_t>(kRows / 2) *
+                       (static_cast<int64_t>(kRows) - 2) / 2);
+  });
+  // Flatten mutates odd_view's own bound-column vector while reading the
+  // storage it shares with even_view/base — the race TSan would catch.
+  odd_view.Flatten();
+  reader.join();
+  EXPECT_EQ((*odd_view.Get(0, Sym(1)))[0].integer(), 1);
+  EXPECT_EQ((*odd_view.Get(odd_view.rows() - 1, Sym(1)))[0].integer(),
+            static_cast<int64_t>(kRows) - 1);
+  // base still reads its original values through the shared storage.
+  EXPECT_EQ(IntAt(base, 0, Sym(1)), 0);
+  EXPECT_EQ(IntAt(base, kRows - 1, Sym(1)), static_cast<int64_t>(kRows) - 1);
+}
+
+// Engine-level differential: row and batch modes are bit-identical on
+// the XMark corpus, batch boundaries included (tiny tuple_batch_rows),
+// and the ExecStats counters tell the two modes apart — batches only
+// count under kBatch, and the batch path materializes far fewer tuples
+// than the row path on select-heavy pipelines.
+class TupleExecModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::XmarkParams p;
+    p.factor = 0.02;
+    doc_ = engine_.AddDocument("x",
+                               workload::GenerateXmark(p, engine_.interner()));
+    globals_ = {{"input", {xdm::Item(doc_->root())}}};
+  }
+
+  Result<Sequence> Run(const engine::CompiledQuery& cq,
+                       const EvalOptions& opts, ExecStats* stats) {
+    ScopedExecStats scope;
+    auto res = engine_.Execute(cq, globals_, opts);
+    *stats = scope.stats();
+    return res;
+  }
+
+  engine::Engine engine_;
+  const xml::Document* doc_;
+  engine::Engine::GlobalMap globals_;
+};
+
+TEST_F(TupleExecModeTest, RowAndBatchBitIdenticalOnXmarkCorpus) {
+  for (const workload::XmarkQuery& q : workload::XmarkQueryCorpus()) {
+    auto cq = engine_.Compile(q.text);
+    ASSERT_TRUE(cq.ok()) << q.id << ": " << cq.status().ToString();
+    EvalOptions row;
+    row.threads = 1;
+    row.tuple_exec = TupleExecMode::kRow;
+    ExecStats row_stats;
+    auto ref = Run(*cq, row, &row_stats);
+    ASSERT_TRUE(ref.ok()) << q.id << ": " << ref.status().ToString();
+    EXPECT_EQ(row_stats.batches, 0) << q.id << ": row mode counted batches";
+
+    for (int batch_rows : {1024, 3, 1}) {
+      EvalOptions batch;
+      batch.threads = 1;
+      batch.tuple_batch_rows = batch_rows;
+      ExecStats batch_stats;
+      auto res = Run(*cq, batch, &batch_stats);
+      ASSERT_TRUE(res.ok())
+          << q.id << " batch_rows=" << batch_rows << ": "
+          << res.status().ToString();
+      ASSERT_EQ(res->size(), ref->size())
+          << q.id << " batch_rows=" << batch_rows;
+      for (size_t i = 0; i < res->size(); ++i) {
+        ASSERT_TRUE((*res)[i] == (*ref)[i])
+            << q.id << " batch_rows=" << batch_rows << " item " << i;
+      }
+    }
+  }
+}
+
+TEST_F(TupleExecModeTest, BatchModeCountsBatchesAndMaterializesFewerTuples) {
+  // A pattern pipeline with real fan-out: the row path copies the input
+  // tuple once per binding row; the batch path broadcasts it.
+  auto cq = engine_.Compile("$input//item//name");
+  ASSERT_TRUE(cq.ok());
+
+  EvalOptions row;
+  row.threads = 1;
+  row.tuple_exec = TupleExecMode::kRow;
+  ExecStats row_stats;
+  ASSERT_TRUE(Run(*cq, row, &row_stats).ok());
+
+  EvalOptions batch;
+  batch.threads = 1;
+  ExecStats batch_stats;
+  ASSERT_TRUE(Run(*cq, batch, &batch_stats).ok());
+
+  EXPECT_EQ(row_stats.batches, 0);
+  EXPECT_GT(batch_stats.batches, 0);
+  EXPECT_GT(row_stats.tuples_materialized, 0);
+  EXPECT_LE(batch_stats.tuples_materialized, row_stats.tuples_materialized);
+  // The counters surface through the human-readable stats line.
+  EXPECT_NE(batch_stats.ToString().find("batches="), std::string::npos);
+  EXPECT_NE(batch_stats.ToString().find("cow_column_copies="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqtp::exec
